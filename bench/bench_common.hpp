@@ -1,0 +1,71 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints (a) the paper's expected qualitative shape, (b) a table
+// of measured values, and optionally CSV (--csv). Modes follow the paper's
+// notation: GP (trace-derived groups), GP1 (uncoordinated + logging),
+// GP4 (ad-hoc 4 sequential-rank groups), NORM (global coordinated).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "group/formation.hpp"
+#include "group/strategies.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace gcr::bench {
+
+enum class Mode { kGp, kGp1, kGp4, kNorm };
+
+inline const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kGp: return "GP";
+    case Mode::kGp1: return "GP1";
+    case Mode::kGp4: return "GP4";
+    case Mode::kNorm: return "NORM";
+  }
+  return "?";
+}
+
+/// The paper's group formations. GP derives groups from a profiling trace
+/// (Algorithm 2) with the given max group size (0 = default floor(sqrt n)).
+inline group::GroupSet groups_for(Mode mode, int nranks,
+                                  const exp::AppFactory& app,
+                                  int gp_max_size = 0) {
+  switch (mode) {
+    case Mode::kGp: return exp::derive_groups(app, nranks, gp_max_size);
+    case Mode::kGp1: return group::make_gp1(nranks);
+    case Mode::kGp4: return group::make_sequential(nranks, 4);
+    case Mode::kNorm: return group::make_norm(nranks);
+  }
+  return group::make_norm(nranks);
+}
+
+/// Repetition driver: runs `make_result` for seeds 1..reps and accumulates
+/// the value it returns.
+template <class Fn>
+RunningStats over_seeds(int reps, Fn&& make_result) {
+  RunningStats stats;
+  for (int rep = 1; rep <= reps; ++rep) {
+    stats.add(make_result(static_cast<std::uint64_t>(rep)));
+  }
+  return stats;
+}
+
+/// Prints the table and optional CSV, with a header naming the experiment.
+inline void emit(const std::string& title, const Table& table, bool csv) {
+  std::printf("== %s ==\n", title.c_str());
+  table.print(std::cout);
+  if (csv) {
+    std::printf("-- csv --\n");
+    table.print_csv(std::cout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace gcr::bench

@@ -1,0 +1,45 @@
+// Figure 1: checkpoint coordination time in HPL with LAM/MPI.
+//
+// Paper: the aggregate (summed over processes) time spent coordinating ONE
+// global checkpoint, excluding the image write, for HPL runs of 12..68
+// processes. Shape to reproduce: gradual growth with process count, with
+// large spikes at some scales caused by unexpected per-node delays.
+#include "apps/hpl.hpp"
+#include "bench_common.hpp"
+
+using namespace gcr;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto procs = cli.get_int_list(
+      "procs", {12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64, 68},
+      "process counts");
+  const int reps = static_cast<int>(cli.get_int("reps", 5, "repetitions"));
+  const bool csv = cli.get_bool("csv", false, "emit CSV");
+  cli.finish();
+
+  Table table({"procs", "aggregate_coordination_s(mean)", "min", "max"});
+  for (std::int64_t n64 : procs) {
+    const int n = static_cast<int>(n64);
+    exp::AppFactory app = [](int nr) { return apps::make_hpl(nr); };
+    RunningStats agg = bench::over_seeds(reps, [&](std::uint64_t seed) {
+      exp::ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.nranks = n;
+      cfg.seed = seed;
+      cfg.groups = group::make_norm(n);  // LAM/MPI: one global group
+      cfg.checkpoints = true;
+      cfg.schedule.first_at_s = 60.0;
+      exp::ExperimentResult res = exp::run_experiment(cfg);
+      return res.metrics.aggregate_coordination_time_s();
+    });
+    table.add_row({Table::num(static_cast<std::int64_t>(n)),
+                   Table::num(agg.mean(), 1), Table::num(agg.min(), 1),
+                   Table::num(agg.max(), 1)});
+  }
+  bench::emit(
+      "Figure 1 - aggregate coordination time of one global checkpoint "
+      "(HPL, NORM). Expect: growth with n, spiky (OS stragglers)",
+      table, csv);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 6: summed per-process checkpoint time (6a) and restart time (6b),
+// HPL, 16-128 processes.
+//
+// Paper shapes: (6a) GP ~ GP1, flat with scale; GP4 above them; NORM high,
+// rising, spiky. (6b) NORM lowest (no resends), GP slightly above, GP1
+// highest and most variable (resends to everyone).
+#include <map>
+
+#include "hpl_modes.hpp"
+
+using namespace gcr;
+using bench::Mode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench::HplSweepOptions opt;
+  opt.procs = cli.get_int_list("procs", opt.procs, "process counts");
+  opt.reps = static_cast<int>(cli.get_int("reps", 5, "repetitions"));
+  const bool csv = cli.get_bool("csv", false, "emit CSV");
+  cli.finish();
+
+  std::map<std::pair<int, Mode>, RunningStats> ckpt, restart;
+  bench::sweep_hpl(opt, [&](int n, Mode m, const exp::ExperimentResult& res) {
+    ckpt[{n, m}].add(res.metrics.aggregate_ckpt_time_s());
+    restart[{n, m}].add(res.restart_aggregate_s);
+  });
+
+  auto table_for = [&](std::map<std::pair<int, Mode>, RunningStats>& data) {
+    Table t({"procs", "GP_s", "GP1_s", "GP4_s", "NORM_s", "NORM_max_s"});
+    for (std::int64_t n64 : opt.procs) {
+      const int n = static_cast<int>(n64);
+      t.add_row({Table::num(static_cast<std::int64_t>(n)),
+                 Table::num(data[{n, Mode::kGp}].mean(), 1),
+                 Table::num(data[{n, Mode::kGp1}].mean(), 1),
+                 Table::num(data[{n, Mode::kGp4}].mean(), 1),
+                 Table::num(data[{n, Mode::kNorm}].mean(), 1),
+                 Table::num(data[{n, Mode::kNorm}].max(), 1)});
+    }
+    return t;
+  };
+
+  bench::emit(
+      "Figure 6a - summed checkpoint time (HPL). Expect: GP ~ GP1 flat; "
+      "NORM rising and spiky",
+      table_for(ckpt), csv);
+  bench::emit(
+      "Figure 6b - summed restart time (HPL). Expect: NORM lowest, GP "
+      "slightly above, GP1 highest/variable",
+      table_for(restart), csv);
+  return 0;
+}

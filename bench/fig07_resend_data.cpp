@@ -1,0 +1,40 @@
+// Figure 7: total amount of data to resend during a whole-application
+// restart (KB), HPL, modes GP / GP1 / GP4 (NORM resends nothing).
+//
+// Paper shape: GP low and stable; GP1 largest and most variable; GP4 in
+// between, scaling steadily.
+#include <map>
+
+#include "hpl_modes.hpp"
+
+using namespace gcr;
+using bench::Mode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench::HplSweepOptions opt;
+  opt.procs = cli.get_int_list("procs", opt.procs, "process counts");
+  opt.reps = static_cast<int>(cli.get_int("reps", 5, "repetitions"));
+  const bool csv = cli.get_bool("csv", false, "emit CSV");
+  cli.finish();
+
+  std::map<std::pair<int, Mode>, RunningStats> resend;
+  bench::sweep_hpl(opt, [&](int n, Mode m, const exp::ExperimentResult& res) {
+    resend[{n, m}].add(static_cast<double>(res.metrics.resend_bytes) / 1024.0);
+  });
+
+  Table t({"procs", "GP_KB", "GP1_KB", "GP4_KB", "GP1_max_KB"});
+  for (std::int64_t n64 : opt.procs) {
+    const int n = static_cast<int>(n64);
+    t.add_row({Table::num(static_cast<std::int64_t>(n)),
+               Table::num(resend[{n, Mode::kGp}].mean(), 0),
+               Table::num(resend[{n, Mode::kGp1}].mean(), 0),
+               Table::num(resend[{n, Mode::kGp4}].mean(), 0),
+               Table::num(resend[{n, Mode::kGp1}].max(), 0)});
+  }
+  bench::emit(
+      "Figure 7 - data resent on restart (HPL). Expect: GP lowest/stable, "
+      "GP1 largest/variable (NORM = 0 by construction)",
+      t, csv);
+  return 0;
+}

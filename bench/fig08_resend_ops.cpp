@@ -1,0 +1,45 @@
+// Figure 8: number of resend operations to complete a restart (directed
+// peer pairs that replayed data), HPL, modes GP / GP1 / GP4.
+//
+// Paper shape: GP1 most and most variable; GP and GP4 scale steadily and
+// stay low.
+#include <map>
+
+#include "hpl_modes.hpp"
+
+using namespace gcr;
+using bench::Mode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench::HplSweepOptions opt;
+  opt.procs = cli.get_int_list("procs", opt.procs, "process counts");
+  opt.reps = static_cast<int>(cli.get_int("reps", 5, "repetitions"));
+  const bool csv = cli.get_bool("csv", false, "emit CSV");
+  cli.finish();
+
+  std::map<std::pair<int, Mode>, RunningStats> ops;
+  std::map<std::pair<int, Mode>, RunningStats> msgs;
+  bench::sweep_hpl(opt, [&](int n, Mode m, const exp::ExperimentResult& res) {
+    ops[{n, m}].add(static_cast<double>(res.metrics.resend_ops));
+    msgs[{n, m}].add(static_cast<double>(res.metrics.resend_messages));
+  });
+
+  Table t({"procs", "GP_ops", "GP1_ops", "GP4_ops", "GP_msgs", "GP1_msgs",
+           "GP4_msgs"});
+  for (std::int64_t n64 : opt.procs) {
+    const int n = static_cast<int>(n64);
+    t.add_row({Table::num(static_cast<std::int64_t>(n)),
+               Table::num(ops[{n, Mode::kGp}].mean(), 1),
+               Table::num(ops[{n, Mode::kGp1}].mean(), 1),
+               Table::num(ops[{n, Mode::kGp4}].mean(), 1),
+               Table::num(msgs[{n, Mode::kGp}].mean(), 1),
+               Table::num(msgs[{n, Mode::kGp1}].mean(), 1),
+               Table::num(msgs[{n, Mode::kGp4}].mean(), 1)});
+  }
+  bench::emit(
+      "Figure 8 - resend operations on restart (HPL). Expect: GP1 most and "
+      "most variable",
+      t, csv);
+  return 0;
+}

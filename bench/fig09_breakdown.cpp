@@ -1,0 +1,56 @@
+// Figure 9: average per-process checkpoint time broken into Lock MPI /
+// Coordination / Checkpoint / Finalize, at 16 and 128 processes, all modes.
+//
+// Paper shapes: the image ("Checkpoint") phase is mode-independent and
+// SHRINKS with scale (memory per process shrinks); NORM's coordination
+// grows so much at 128 that it dominates; with a good grouping (GP) the
+// overhead stays minimal.
+#include <map>
+
+#include "hpl_modes.hpp"
+
+using namespace gcr;
+using bench::Mode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench::HplSweepOptions opt;
+  opt.procs = cli.get_int_list("procs", {16, 128}, "process counts");
+  opt.reps = static_cast<int>(cli.get_int("reps", 5, "repetitions"));
+  const bool csv = cli.get_bool("csv", false, "emit CSV");
+  cli.finish();
+  opt.restart_after_finish = false;
+
+  struct Acc {
+    RunningStats lock, coord, img, fin;
+  };
+  std::map<std::pair<int, Mode>, Acc> acc;
+  bench::sweep_hpl(opt, [&](int n, Mode m, const exp::ExperimentResult& res) {
+    const core::PhaseTimes ph = res.metrics.mean_phases();
+    Acc& a = acc[{n, m}];
+    a.lock.add(ph.lock_mpi);
+    a.coord.add(ph.coordination);
+    a.img.add(ph.checkpoint);
+    a.fin.add(ph.finalize);
+  });
+
+  Table t({"procs", "mode", "lock_mpi_s", "coordination_s", "checkpoint_s",
+           "finalize_s", "total_s"});
+  for (std::int64_t n64 : opt.procs) {
+    const int n = static_cast<int>(n64);
+    for (Mode m : {Mode::kGp, Mode::kGp1, Mode::kGp4, Mode::kNorm}) {
+      const Acc& a = acc[{n, m}];
+      const double total =
+          a.lock.mean() + a.coord.mean() + a.img.mean() + a.fin.mean();
+      t.add_row({Table::num(static_cast<std::int64_t>(n)),
+                 bench::mode_name(m), Table::num(a.lock.mean(), 3),
+                 Table::num(a.coord.mean(), 3), Table::num(a.img.mean(), 3),
+                 Table::num(a.fin.mean(), 3), Table::num(total, 3)});
+    }
+  }
+  bench::emit(
+      "Figure 9 - checkpoint time breakdown. Expect: image phase equal "
+      "across modes and smaller at 128; NORM coordination dominates at 128",
+      t, csv);
+  return 0;
+}

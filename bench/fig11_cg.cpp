@@ -1,0 +1,64 @@
+// Figure 11: NPB CG Class C — summed checkpoint (11a) and restart (11b)
+// times for 16..128 processes (powers of two; GP4 included as in the paper).
+//
+// Paper shapes: like HPL — GP's checkpoint cost ~ GP1's and far below NORM;
+// GP's restart ~ NORM's and less variable than GP1's.
+#include <map>
+
+#include "apps/cg.hpp"
+#include "bench_common.hpp"
+
+using namespace gcr;
+using bench::Mode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto procs = cli.get_int_list("procs", {16, 32, 64, 128}, "counts");
+  const int reps = static_cast<int>(cli.get_int("reps", 3, "repetitions"));
+  const bool csv = cli.get_bool("csv", false, "emit CSV");
+  cli.finish();
+
+  exp::AppFactory app = [](int nr) { return apps::make_cg(nr); };
+
+  std::map<std::pair<int, Mode>, RunningStats> ckpt, restart;
+  for (std::int64_t n64 : procs) {
+    const int n = static_cast<int>(n64);
+    for (Mode mode : {Mode::kGp, Mode::kGp1, Mode::kGp4, Mode::kNorm}) {
+      const group::GroupSet groups = bench::groups_for(mode, n, app);
+      for (int rep = 1; rep <= reps; ++rep) {
+        exp::ExperimentConfig cfg;
+        cfg.app = app;
+        cfg.nranks = n;
+        cfg.seed = static_cast<std::uint64_t>(rep);
+        cfg.groups = groups;
+        cfg.checkpoints = true;
+        cfg.schedule.first_at_s = 60.0;
+        cfg.schedule.round_spread_s = 0.4;
+        cfg.restart_after_finish = true;
+        exp::ExperimentResult res = exp::run_experiment(cfg);
+        ckpt[{n, mode}].add(res.metrics.aggregate_ckpt_time_s());
+        restart[{n, mode}].add(res.restart_aggregate_s);
+      }
+    }
+  }
+
+  auto table_for = [&](std::map<std::pair<int, Mode>, RunningStats>& data) {
+    Table t({"procs", "GP_s", "GP1_s", "GP4_s", "NORM_s"});
+    for (std::int64_t n64 : procs) {
+      const int n = static_cast<int>(n64);
+      t.add_row({Table::num(static_cast<std::int64_t>(n)),
+                 Table::num(data[{n, Mode::kGp}].mean(), 1),
+                 Table::num(data[{n, Mode::kGp1}].mean(), 1),
+                 Table::num(data[{n, Mode::kGp4}].mean(), 1),
+                 Table::num(data[{n, Mode::kNorm}].mean(), 1)});
+    }
+    return t;
+  };
+  bench::emit("Figure 11a - CG Class C summed checkpoint time. Expect: GP ~ "
+              "GP1 << NORM at scale",
+              table_for(ckpt), csv);
+  bench::emit("Figure 11b - CG Class C summed restart time. Expect: GP ~ "
+              "NORM, GP1 above",
+              table_for(restart), csv);
+  return 0;
+}

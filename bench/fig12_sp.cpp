@@ -1,0 +1,62 @@
+// Figure 12: NPB SP Class C — summed checkpoint (12a) and restart (12b)
+// times for square process counts 64, 81, 100, 121 (GP4 omitted, as in the
+// paper: "not appropriate for SP's system size").
+//
+// Paper shapes: same story as CG — GP's checkpoint ~ GP1 and below NORM;
+// GP's restart ~ NORM, GP1 higher and more variable.
+#include <map>
+
+#include "apps/sp.hpp"
+#include "bench_common.hpp"
+
+using namespace gcr;
+using bench::Mode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto procs = cli.get_int_list("procs", {64, 81, 100, 121}, "counts");
+  const int reps = static_cast<int>(cli.get_int("reps", 3, "repetitions"));
+  const bool csv = cli.get_bool("csv", false, "emit CSV");
+  cli.finish();
+
+  exp::AppFactory app = [](int nr) { return apps::make_sp(nr); };
+
+  std::map<std::pair<int, Mode>, RunningStats> ckpt, restart;
+  for (std::int64_t n64 : procs) {
+    const int n = static_cast<int>(n64);
+    for (Mode mode : {Mode::kGp, Mode::kGp1, Mode::kNorm}) {
+      const group::GroupSet groups = bench::groups_for(mode, n, app);
+      for (int rep = 1; rep <= reps; ++rep) {
+        exp::ExperimentConfig cfg;
+        cfg.app = app;
+        cfg.nranks = n;
+        cfg.seed = static_cast<std::uint64_t>(rep);
+        cfg.groups = groups;
+        cfg.checkpoints = true;
+        cfg.schedule.first_at_s = 60.0;
+        cfg.schedule.round_spread_s = 0.4;
+        cfg.restart_after_finish = true;
+        exp::ExperimentResult res = exp::run_experiment(cfg);
+        ckpt[{n, mode}].add(res.metrics.aggregate_ckpt_time_s());
+        restart[{n, mode}].add(res.restart_aggregate_s);
+      }
+    }
+  }
+
+  auto table_for = [&](std::map<std::pair<int, Mode>, RunningStats>& data) {
+    Table t({"procs", "GP_s", "GP1_s", "NORM_s"});
+    for (std::int64_t n64 : procs) {
+      const int n = static_cast<int>(n64);
+      t.add_row({Table::num(static_cast<std::int64_t>(n)),
+                 Table::num(data[{n, Mode::kGp}].mean(), 1),
+                 Table::num(data[{n, Mode::kGp1}].mean(), 1),
+                 Table::num(data[{n, Mode::kNorm}].mean(), 1)});
+    }
+    return t;
+  };
+  bench::emit("Figure 12a - SP Class C summed checkpoint time", table_for(ckpt),
+              csv);
+  bench::emit("Figure 12b - SP Class C summed restart time", table_for(restart),
+              csv);
+  return 0;
+}

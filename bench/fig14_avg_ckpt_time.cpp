@@ -1,0 +1,55 @@
+// Figure 14: average time per checkpoint, GP vs MPICH-VCL, CG Class C with
+// remote checkpoint servers, 16..128 processes.
+//
+// Paper shape: GP below VCL throughout, both rising with scale (4 shared
+// servers), VCL's trend steeper ("may perform much less efficiently than GP
+// when the system is further scaled").
+#include "apps/cg.hpp"
+#include "bench_common.hpp"
+
+using namespace gcr;
+using bench::Mode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto procs =
+      cli.get_int_list("procs", {16, 32, 64, 128}, "counts");
+  const int reps = static_cast<int>(cli.get_int("reps", 3, "repetitions"));
+  const bool csv = cli.get_bool("csv", false, "emit CSV");
+  cli.finish();
+
+  exp::AppFactory app = [](int nr) { return apps::make_cg(nr); };
+
+  Table t({"procs", "GP_per_ckpt_s", "VCL_per_ckpt_s"});
+  for (std::int64_t n64 : procs) {
+    const int n = static_cast<int>(n64);
+    const group::GroupSet gp_groups = bench::groups_for(Mode::kGp, n, app);
+    RunningStats gp_time, vcl_time;
+    for (int rep = 1; rep <= reps; ++rep) {
+      for (bool use_vcl : {false, true}) {
+        exp::ExperimentConfig cfg;
+        cfg.app = app;
+        cfg.nranks = n;
+        cfg.seed = static_cast<std::uint64_t>(rep);
+        cfg.remote_storage = true;
+        cfg.checkpoints = true;
+        cfg.schedule.first_at_s = 60.0;
+        if (use_vcl) {
+          cfg.protocol = exp::ProtocolKind::kVcl;
+        } else {
+          cfg.groups = gp_groups;
+          cfg.schedule.round_spread_s = 0.4;
+        }
+        exp::ExperimentResult res = exp::run_experiment(cfg);
+        (use_vcl ? vcl_time : gp_time).add(res.metrics.mean_ckpt_time_s());
+      }
+    }
+    t.add_row({Table::num(static_cast<std::int64_t>(n)),
+               Table::num(gp_time.mean(), 2), Table::num(vcl_time.mean(), 2)});
+  }
+  bench::emit(
+      "Figure 14 - average time per checkpoint on remote storage (CG Class "
+      "C). Expect: GP < VCL throughout, VCL rising steeply",
+      t, csv);
+  return 0;
+}

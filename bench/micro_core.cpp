@@ -1,0 +1,131 @@
+// M1: google-benchmark microbenchmarks for the hot paths of the simulator
+// and protocol substrates: event engine throughput, channel handoffs,
+// message-log append/GC, Algorithm 2 formation, and end-to-end simulated
+// events per wall second.
+#include <benchmark/benchmark.h>
+
+#include "apps/simple.hpp"
+#include "core/msglog.hpp"
+#include "exp/experiment.hpp"
+#include "group/formation.hpp"
+#include "group/strategies.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gcr;
+
+void BM_EngineCallbackThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    const int events = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < events; ++i) {
+      eng.call_at(i, [&fired] { ++fired; });
+    }
+    eng.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineCallbackThroughput)->Arg(1 << 12)->Arg(1 << 16);
+
+sim::Co<void> chan_echo(sim::Channel<int>& in, sim::Channel<int>& out,
+                        int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    out.push(co_await in.pop());
+  }
+}
+
+sim::Co<void> chan_drive(sim::Channel<int>& out, sim::Channel<int>& in,
+                         int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    out.push(i);
+    (void)co_await in.pop();
+  }
+}
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Channel<int> a(eng), b(eng);
+    const int rounds = static_cast<int>(state.range(0));
+    eng.spawn("echo", chan_echo(a, b, rounds));
+    eng.spawn("drive", chan_drive(a, b, rounds));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_MessageLogAppendGc(benchmark::State& state) {
+  const int peers = 16;
+  for (auto _ : state) {
+    core::MessageLog log;
+    std::vector<std::int64_t> cum(peers, 0);
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      mpi::Message m;
+      m.src = 0;
+      m.dst = i % peers;
+      m.bytes = 512;
+      cum[static_cast<std::size_t>(m.dst)] += m.bytes;
+      m.cum_bytes = cum[static_cast<std::size_t>(m.dst)];
+      m.seq = static_cast<std::uint64_t>(i / peers + 1);
+      log.append(m);
+      if (i % 1024 == 1023) {
+        log.gc(i % peers, cum[static_cast<std::size_t>(i % peers)] / 2);
+      }
+    }
+    benchmark::DoNotOptimize(log.total_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MessageLogAppendGc)->Arg(1 << 14);
+
+void BM_FormationAlgorithm2(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(42);
+  trace::Trace trace;
+  for (int i = 0; i < n * 200; ++i) {
+    trace.push_back(trace::TraceRecord{
+        0, trace::EventKind::kSend,
+        static_cast<mpi::RankId>(rng.next_below(static_cast<std::uint64_t>(n))),
+        static_cast<mpi::RankId>(rng.next_below(static_cast<std::uint64_t>(n))),
+        0, static_cast<std::int64_t>(rng.next_below(100000))});
+  }
+  for (auto _ : state) {
+    auto groups = group::form_groups_from_trace(n, trace);
+    benchmark::DoNotOptimize(groups.num_groups());
+  }
+}
+BENCHMARK(BM_FormationAlgorithm2)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_EndToEndSimulatedRing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::ExperimentConfig cfg;
+    cfg.app = [](int nr) {
+      apps::RingParams p;
+      p.iterations = 50;
+      p.compute_s = 0.001;
+      return apps::make_ring(nr, p);
+    };
+    cfg.nranks = n;
+    cfg.groups = group::make_round_robin(n, std::max(1, n / 4));
+    cfg.checkpoints = true;
+    cfg.schedule.first_at_s = 0.02;
+    cfg.jitter = false;
+    exp::ExperimentResult res = exp::run_experiment(cfg);
+    events += static_cast<std::uint64_t>(res.app_messages);
+    benchmark::DoNotOptimize(res.exec_time_s);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EndToEndSimulatedRing)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

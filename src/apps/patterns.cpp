@@ -1,0 +1,43 @@
+#include "apps/patterns.hpp"
+
+#include "util/assert.hpp"
+
+namespace gcr::apps {
+
+int index_in(const std::vector<mpi::RankId>& members, mpi::RankId rank) {
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == rank) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+sim::Co<void> bcast_subset(mpi::AppHandle& h,
+                           const std::vector<mpi::RankId>& members,
+                           int root_index, std::int64_t bytes, int tag) {
+  const int p = static_cast<int>(members.size());
+  const int me = index_in(members, h.id());
+  GCR_CHECK_MSG(me >= 0, "bcast_subset caller must be a member");
+  GCR_CHECK(root_index >= 0 && root_index < p);
+  const int relative = (me - root_index + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (relative & mask) {
+      int src = me - mask;
+      if (src < 0) src += p;
+      (void)co_await h.recv(members[static_cast<std::size_t>(src)], tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < p) {
+      int dst = me + mask;
+      if (dst >= p) dst -= p;
+      co_await h.send(members[static_cast<std::size_t>(dst)], tag, bytes);
+    }
+    mask >>= 1;
+  }
+}
+
+}  // namespace gcr::apps

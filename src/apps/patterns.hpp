@@ -1,0 +1,30 @@
+// Communication-pattern helpers for application skeletons: collectives over
+// arbitrary rank subsets (process rows/columns of a grid), built on the
+// runtime's p2p so every hop passes through the protocol hooks.
+//
+// Application contract (required by the checkpoint protocols):
+//  * call `co_await h.safepoint(k)` at the TOP of iteration k, before any
+//    communication of that iteration, and once more after the last
+//    iteration;
+//  * per peer, receive messages in the order the peer sends them (standard
+//    non-overtaking discipline) — the runtime asserts this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+
+namespace gcr::apps {
+
+/// Binomial broadcast over an explicit member list (e.g. one process row).
+/// `root_index` indexes into `members`. Every member must call this with the
+/// same arguments.
+sim::Co<void> bcast_subset(mpi::AppHandle& h,
+                           const std::vector<mpi::RankId>& members,
+                           int root_index, std::int64_t bytes, int tag);
+
+/// Index of `rank` in `members`; -1 if absent.
+int index_in(const std::vector<mpi::RankId>& members, mpi::RankId rank);
+
+}  // namespace gcr::apps

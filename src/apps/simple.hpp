@@ -1,0 +1,44 @@
+// Small synthetic workloads for tests, examples, and ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app.hpp"
+
+namespace gcr::apps {
+
+struct RingParams {
+  std::uint64_t iterations = 50;
+  std::int64_t bytes = 64 * 1024;
+  double compute_s = 0.01;  ///< per-iteration compute per rank
+  std::int64_t mem_bytes = 8 * 1024 * 1024;
+};
+
+/// Each iteration: send to (r+1)%n, receive from (r-1+n)%n, compute.
+AppSpec make_ring(int nranks, const RingParams& params = {});
+
+struct Stencil1dParams {
+  std::uint64_t iterations = 50;
+  std::int64_t halo_bytes = 32 * 1024;
+  double compute_s = 0.01;
+  std::int64_t mem_bytes = 8 * 1024 * 1024;
+  int cluster_width = 0;  ///< >0: ranks only talk within blocks of this width
+};
+
+/// Non-periodic 1-D halo exchange; with cluster_width set, communication is
+/// confined to disjoint blocks — a workload with an obvious best grouping.
+AppSpec make_stencil1d(int nranks, const Stencil1dParams& params = {});
+
+struct RandomPairsParams {
+  std::uint64_t iterations = 40;
+  std::int64_t bytes = 16 * 1024;
+  double compute_s = 0.005;
+  std::uint64_t seed = 42;
+  std::int64_t mem_bytes = 4 * 1024 * 1024;
+};
+
+/// Deterministic random pairing each iteration (all ranks paired up via a
+/// seeded shuffle); stresses group formation with unstructured traffic.
+AppSpec make_random_pairs(int nranks, const RandomPairsParams& params = {});
+
+}  // namespace gcr::apps

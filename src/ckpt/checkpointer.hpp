@@ -1,0 +1,76 @@
+// BLCR-like per-process checkpointer model.
+//
+// The protocol treats the system-level checkpointer as a black box that
+// dumps/loads a process image of a given size; what matters for every
+// experiment is the duration, which is dominated by the storage device
+// (local disk, or a shared NFS checkpoint server with heavy contention at
+// scale — paper §5.3). A fixed per-image setup cost models BLCR's
+// quiesce/fork work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/cluster.hpp"
+#include "sim/co.hpp"
+
+namespace gcr::ckpt {
+
+struct CheckpointerOptions {
+  bool remote_storage = false;   ///< write to shared checkpoint servers
+  double setup_s = 0.05;         ///< BLCR quiesce + metadata per image
+};
+
+class Checkpointer {
+ public:
+  Checkpointer(sim::Cluster& cluster, CheckpointerOptions options = {})
+      : cluster_(&cluster), options_(options) {
+    if (options_.remote_storage) {
+      GCR_CHECK_MSG(cluster.has_remote_storage(),
+                    "remote_storage requires cluster remote servers");
+    }
+  }
+
+  const CheckpointerOptions& options() const { return options_; }
+
+  /// Dumps an image of `bytes` from the process on `node`.
+  sim::Co<void> write_image(int node, std::int64_t bytes) {
+    co_await sim::delay(cluster_->engine(),
+                        sim::from_seconds(options_.setup_s));
+    co_await device_for(node).write(bytes);
+  }
+
+  /// Dumps an image, invoking `on_transfer_start` once the storage device
+  /// begins the physical transfer (after queueing behind other images).
+  sim::Co<void> write_image(int node, std::int64_t bytes,
+                            std::function<void()> on_transfer_start) {
+    co_await sim::delay(cluster_->engine(),
+                        sim::from_seconds(options_.setup_s));
+    co_await device_for(node).write(bytes, std::move(on_transfer_start));
+  }
+
+  /// Loads an image of `bytes` back into a process on `node`.
+  sim::Co<void> read_image(int node, std::int64_t bytes) {
+    co_await sim::delay(cluster_->engine(),
+                        sim::from_seconds(options_.setup_s));
+    co_await device_for(node).read(bytes);
+  }
+
+  /// Appends `bytes` of message-log data to stable storage (Algorithm 1's
+  /// "synchronize message logs" flush before a checkpoint).
+  sim::Co<void> flush_log(int node, std::int64_t bytes) {
+    if (bytes <= 0) co_return;
+    co_await device_for(node).write(bytes);
+  }
+
+  sim::StorageDevice& device_for(int node) {
+    return options_.remote_storage ? cluster_->remote_server_for(node)
+                                   : cluster_->local_disk(node);
+  }
+
+ private:
+  sim::Cluster* cluster_;
+  CheckpointerOptions options_;
+};
+
+}  // namespace gcr::ckpt

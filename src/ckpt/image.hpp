@@ -1,0 +1,55 @@
+// Checkpoint image metadata and the in-memory image registry.
+//
+// The *timing* of image IO is modeled through sim::StorageDevice; the
+// *content* that must survive a restart (runtime snapshot + protocol state)
+// is held here, keyed by rank. This is the modeled equivalent of BLCR
+// context files plus the protocol's flushed message logs.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "mpi/rank.hpp"
+#include "sim/time.hpp"
+
+namespace gcr::ckpt {
+
+struct ImageMeta {
+  mpi::RankId rank = 0;
+  std::uint64_t epoch = 0;       ///< per-group checkpoint counter
+  std::int64_t bytes = 0;        ///< modeled image size (drives IO timing)
+  sim::Time written_at = 0;
+};
+
+/// One durable per-rank checkpoint: what a restart reads back.
+struct StoredCheckpoint {
+  ImageMeta meta;
+  mpi::RankSnapshot runtime_state;
+  std::any protocol_state;  ///< protocol-private snapshot (message logs, RR)
+};
+
+/// Latest-image registry. The paper keeps one checkpoint per group (each
+/// successful checkpoint "comes with a correct set of message logs" and
+/// supersedes the previous); we keep the latest per rank.
+class ImageRegistry {
+ public:
+  void put(StoredCheckpoint image) {
+    images_[image.meta.rank] = std::move(image);
+  }
+
+  /// nullptr if the rank never checkpointed (restart from scratch).
+  const StoredCheckpoint* latest(mpi::RankId rank) const {
+    auto it = images_.find(rank);
+    return it == images_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t count() const { return images_.size(); }
+  void clear() { images_.clear(); }
+
+ private:
+  std::map<mpi::RankId, StoredCheckpoint> images_;
+};
+
+}  // namespace gcr::ckpt

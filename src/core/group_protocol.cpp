@@ -1,0 +1,612 @@
+#include "core/group_protocol.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace gcr::core {
+namespace {
+
+/// commit_iteration value meaning "checkpoint at the very next safe point"
+/// (single-member groups need no cross-member agreement).
+constexpr std::uint64_t kAnyIteration = ~std::uint64_t{0};
+
+/// Epoch namespace for restart barriers (disjoint from checkpoint epochs).
+constexpr std::uint64_t kRestartEpochBase = std::uint64_t{1} << 40;
+
+}  // namespace
+
+GroupProtocol::GroupProtocol(mpi::Runtime& rt, const group::GroupSet& groups,
+                             ckpt::Checkpointer& checkpointer,
+                             ckpt::ImageRegistry& registry,
+                             ImageSizeFn image_bytes, Metrics& metrics,
+                             GroupProtocolOptions options)
+    : rt_(&rt), groups_(groups), checkpointer_(&checkpointer),
+      registry_(&registry), image_bytes_(std::move(image_bytes)),
+      metrics_(&metrics), options_(options) {
+  GCR_CHECK(groups_.nranks() == rt.nranks());
+  const int n = rt.nranks();
+  states_.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto st = std::make_unique<RankState>();
+    st->rr.assign(static_cast<std::size_t>(n), 0);
+    st->first_send.assign(static_cast<std::size_t>(n), 0);
+    st->skip_bytes.assign(static_cast<std::size_t>(n), 0);
+    st->event = std::make_unique<sim::Trigger>(rt.engine());
+    st->jitter_rng = rt.cluster().make_rng(0x6A00 + static_cast<std::uint64_t>(r));
+    states_.push_back(std::move(st));
+  }
+}
+
+void GroupProtocol::wake(mpi::Rank& rank) { state(rank).event->fire(); }
+
+std::uint64_t GroupProtocol::draw_target_skew(RankState& st,
+                                              bool coordinated) {
+  if (options_.target_skew_steps <= 0) return 0;
+  // A coordinated group's cut comes out of the prepare/commit agreement and
+  // lands within a safe point or two of the request; an uncoordinated
+  // (single-process) checkpoint is taken wherever the signal catches the
+  // process, so its cut spreads over the full skew window.
+  const int window = coordinated ? 1 : options_.target_skew_steps;
+  return st.jitter_rng.next_below(static_cast<std::uint64_t>(window) + 1);
+}
+
+std::int64_t GroupProtocol::log_bytes(mpi::RankId rank) const {
+  return states_[static_cast<std::size_t>(rank)]->log.total_bytes();
+}
+
+// ------------------------------------------------------------- send/deliver
+
+sim::Co<bool> GroupProtocol::before_send(mpi::Rank& rank, mpi::Message& msg) {
+  RankState& st = state(rank);
+  const bool crossing = !groups_.same_group(msg.src, msg.dst);
+  if (crossing) {
+    // Logged even when transmission is suppressed: the receiver has the
+    // message, but a *future* failure of the receiver still needs it.
+    st.log.append(msg);
+    ++metrics_->logged_messages;
+    metrics_->logged_bytes += msg.bytes;
+  }
+  std::int64_t& skip = st.skip_bytes[static_cast<std::size_t>(msg.dst)];
+  if (skip > 0) {
+    GCR_CHECK_MSG(msg.bytes <= skip,
+                  "re-execution send misaligned with skip volume");
+    skip -= msg.bytes;
+    co_return false;  // peer already received this message
+  }
+  if (crossing) {
+    // Asynchronous sender-side logging still costs a buffer copy.
+    co_await sim::delay(
+        rt_->engine(),
+        sim::from_seconds(options_.log_per_msg_s +
+                          static_cast<double>(msg.bytes) /
+                              options_.log_copy_Bps));
+    if (st.first_send[static_cast<std::size_t>(msg.dst)]) {
+      msg.piggyback_rr = st.rr[static_cast<std::size_t>(msg.dst)];
+      st.first_send[static_cast<std::size_t>(msg.dst)] = 0;
+    }
+  }
+  co_return true;
+}
+
+void GroupProtocol::on_deliver(mpi::Rank& rank, const mpi::Message& msg) {
+  RankState& st = state(rank);
+  if (msg.piggyback_rr >= 0) {
+    st.log.gc(msg.src, msg.piggyback_rr);
+  }
+  if (st.in_checkpoint) wake(rank);  // drain predicate may now hold
+}
+
+// ------------------------------------------------------------ daemon / ctrl
+
+void GroupProtocol::rank_started(mpi::Rank& rank) {
+  auto proc = rt_->engine().spawn("crdaemon" + std::to_string(rank.id()),
+                                  daemon_loop(rank));
+  rt_->set_daemon_proc(rank, std::move(proc));
+  if (state(rank).restoring) {
+    rt_->engine().spawn("restore" + std::to_string(rank.id()),
+                        run_restore(rank));
+  }
+}
+
+void GroupProtocol::rank_finished(mpi::Rank& rank) {
+  RankState& st = state(rank);
+  if (is_leader(rank) && st.round_open) {
+    ++metrics_->aborted_rounds;
+    st.round_open = false;
+  }
+  if (st.commit_pending) {
+    // We accepted a commit but the application ended before reaching the
+    // target iteration: abort the epoch so the group does not wait forever.
+    const std::uint64_t epoch = st.commit_epoch;
+    st.commit_pending = false;
+    st.aborted.insert(epoch);
+    wake(rank);
+    mpi::Message abort;
+    abort.ctrl = mpi::CtrlKind::kAbort;
+    abort.ctrl_data = {static_cast<std::int64_t>(epoch)};
+    const int g = groups_.group_of(rank.id());
+    for (mpi::RankId m : groups_.members(g)) {
+      if (m != rank.id()) rt_->send_ctrl(rank.id(), m, abort);
+    }
+  }
+}
+
+sim::Co<void> GroupProtocol::daemon_loop(mpi::Rank& rank) {
+  for (;;) {
+    mpi::Message msg = co_await rank.ctrl_in().pop();
+    co_await handle_ctrl(rank, std::move(msg));
+  }
+}
+
+sim::Co<void> GroupProtocol::handle_ctrl(mpi::Rank& rank, mpi::Message msg) {
+  RankState& st = state(rank);
+  const int g = groups_.group_of(rank.id());
+  const auto& members = groups_.members(g);
+
+  switch (msg.ctrl) {
+    case mpi::CtrlKind::kCkptRequest: {
+      if (!is_leader(rank) || st.round_open) co_return;
+      if (rank.finished()) {
+        ++metrics_->aborted_rounds;
+        co_return;
+      }
+      st.round_open = true;
+      st.signal_at = rt_->engine().now();
+      const std::uint64_t epoch = st.next_epoch++;
+      if (members.size() == 1) {
+        st.commit_pending = true;
+        st.commit_epoch = epoch;
+        st.commit_iteration =
+            rank.iteration() + 1 + draw_target_skew(st, /*coordinated=*/false);
+        co_return;
+      }
+      mpi::Message prep;
+      prep.ctrl = mpi::CtrlKind::kPrepare;
+      prep.ctrl_data = {static_cast<std::int64_t>(epoch)};
+      for (mpi::RankId m : members) {
+        if (m != rank.id()) rt_->send_ctrl(rank.id(), m, prep);
+      }
+      st.prepare_replies[epoch] = {};
+      co_return;
+    }
+
+    case mpi::CtrlKind::kPrepare: {
+      const auto epoch = static_cast<std::uint64_t>(msg.ctrl_data.at(0));
+      st.signal_at = rt_->engine().now();
+      mpi::Message reply;
+      reply.ctrl = mpi::CtrlKind::kPrepareReply;
+      reply.ctrl_data = {
+          static_cast<std::int64_t>(epoch),
+          rank.finished() ? -1
+                          : static_cast<std::int64_t>(rank.iteration())};
+      rt_->send_ctrl(rank.id(), msg.src, reply);
+      co_return;
+    }
+
+    case mpi::CtrlKind::kPrepareReply: {
+      const auto epoch = static_cast<std::uint64_t>(msg.ctrl_data.at(0));
+      auto it = st.prepare_replies.find(epoch);
+      if (it == st.prepare_replies.end()) co_return;  // stale
+      it->second.push_back(msg.ctrl_data.at(1));
+      if (it->second.size() + 1 < members.size()) co_return;
+      // All replies in: decide.
+      bool anyone_finished = rank.finished();
+      std::int64_t max_iter = static_cast<std::int64_t>(rank.iteration());
+      for (std::int64_t v : it->second) {
+        if (v < 0) anyone_finished = true;
+        max_iter = std::max(max_iter, v);
+      }
+      st.prepare_replies.erase(it);
+      if (anyone_finished) {
+        ++metrics_->aborted_rounds;
+        st.aborted.insert(epoch);
+        st.round_open = false;
+        mpi::Message abort;
+        abort.ctrl = mpi::CtrlKind::kAbort;
+        abort.ctrl_data = {static_cast<std::int64_t>(epoch)};
+        for (mpi::RankId m : members) {
+          if (m != rank.id()) rt_->send_ctrl(rank.id(), m, abort);
+        }
+        co_return;
+      }
+      const std::uint64_t target =
+          static_cast<std::uint64_t>(max_iter) +
+          static_cast<std::uint64_t>(options_.commit_margin) +
+          draw_target_skew(st, /*coordinated=*/true);
+      mpi::Message commit;
+      commit.ctrl = mpi::CtrlKind::kCommit;
+      commit.ctrl_data = {static_cast<std::int64_t>(epoch),
+                          static_cast<std::int64_t>(target)};
+      for (mpi::RankId m : members) {
+        if (m != rank.id()) rt_->send_ctrl(rank.id(), m, commit);
+      }
+      st.commit_pending = true;
+      st.commit_epoch = epoch;
+      st.commit_iteration = target;
+      co_return;
+    }
+
+    case mpi::CtrlKind::kCommit: {
+      const auto epoch = static_cast<std::uint64_t>(msg.ctrl_data.at(0));
+      const auto target = static_cast<std::uint64_t>(msg.ctrl_data.at(1));
+      if (st.aborted.count(epoch)) co_return;
+      if (rank.finished()) {
+        // Can no longer participate; abort the epoch group-wide.
+        st.aborted.insert(epoch);
+        mpi::Message abort;
+        abort.ctrl = mpi::CtrlKind::kAbort;
+        abort.ctrl_data = {static_cast<std::int64_t>(epoch)};
+        for (mpi::RankId m : members) {
+          if (m != rank.id()) rt_->send_ctrl(rank.id(), m, abort);
+        }
+        co_return;
+      }
+      GCR_CHECK_MSG(rank.iteration() < target,
+                    "commit target already passed — raise commit_margin");
+      st.commit_pending = true;
+      st.commit_epoch = epoch;
+      st.commit_iteration = target;
+      co_return;
+    }
+
+    case mpi::CtrlKind::kAbort: {
+      const auto epoch = static_cast<std::uint64_t>(msg.ctrl_data.at(0));
+      st.aborted.insert(epoch);
+      if (st.commit_pending && st.commit_epoch == epoch) {
+        st.commit_pending = false;
+      }
+      if (is_leader(rank) && st.round_open) {
+        ++metrics_->aborted_rounds;
+        st.round_open = false;
+      }
+      wake(rank);
+      co_return;
+    }
+
+    case mpi::CtrlKind::kBookmark: {
+      const auto epoch = static_cast<std::uint64_t>(msg.ctrl_data.at(0));
+      (void)epoch;  // one round per group at a time; keyed by source
+      st.bookmarks[msg.src] = msg.ctrl_data.at(1);
+      wake(rank);
+      co_return;
+    }
+
+    case mpi::CtrlKind::kBarrierAck: {
+      const std::uint64_t key =
+          barrier_key(static_cast<std::uint64_t>(msg.ctrl_data.at(0)),
+                      static_cast<int>(msg.ctrl_data.at(1)));
+      ++st.barrier_acks[key];
+      wake(rank);
+      co_return;
+    }
+
+    case mpi::CtrlKind::kBarrierGo: {
+      const std::uint64_t key =
+          barrier_key(static_cast<std::uint64_t>(msg.ctrl_data.at(0)),
+                      static_cast<int>(msg.ctrl_data.at(1)));
+      st.barrier_go.insert(key);
+      wake(rank);
+      co_return;
+    }
+
+    case mpi::CtrlKind::kExchangeRequest: {
+      // A restarting peer announces its restored volumes. Served in its own
+      // coroutine so the daemon keeps answering other peers; the reply is
+      // sent AFTER the replay so the peer's restart-preparation time
+      // includes the message resend (paper: GP1 restarts are slow and
+      // variable because of "resending variable amounts of messages to all
+      // other processes"). Failures never overlap restarts (RecoveryManager
+      // serializes recovery), so this transient coroutine cannot outlive
+      // the rank's incarnation.
+      rt_->engine().spawn("exchsrv" + std::to_string(rank.id()),
+                          serve_exchange(rank, std::move(msg)));
+      co_return;
+    }
+
+    case mpi::CtrlKind::kExchangeReply: {
+      const std::int64_t peer_r = msg.ctrl_data.at(0);
+      const std::int64_t my_s = rank.sent_to(msg.src).bytes;
+      st.skip_bytes[static_cast<std::size_t>(msg.src)] =
+          std::max<std::int64_t>(0, peer_r - my_s);
+      ++st.exchange_replies;
+      wake(rank);
+      co_return;
+    }
+
+    default:
+      co_return;  // other protocols' traffic
+  }
+}
+
+// ----------------------------------------------------------- waiting helpers
+
+sim::Co<bool> GroupProtocol::wait_event(mpi::Rank& rank, std::uint64_t epoch,
+                                        const std::function<bool()>& pred) {
+  RankState& st = state(rank);
+  for (;;) {
+    if (st.aborted.count(epoch)) co_return false;
+    if (pred()) co_return true;
+    st.event->reset();
+    co_await st.event->wait();
+  }
+}
+
+sim::Co<bool> GroupProtocol::group_barrier(mpi::Rank& rank,
+                                           std::uint64_t epoch, int phase) {
+  const int g = groups_.group_of(rank.id());
+  const auto& members = groups_.members(g);
+  if (members.size() == 1) co_return true;
+  RankState& st = state(rank);
+  const std::uint64_t key = barrier_key(epoch, phase);
+  if (is_leader(rank)) {
+    const int needed = static_cast<int>(members.size()) - 1;
+    const bool ok = co_await wait_event(rank, epoch, [&st, key, needed] {
+      auto it = st.barrier_acks.find(key);
+      return it != st.barrier_acks.end() && it->second >= needed;
+    });
+    st.barrier_acks.erase(key);
+    if (!ok) co_return false;
+    mpi::Message go;
+    go.ctrl = mpi::CtrlKind::kBarrierGo;
+    go.ctrl_data = {static_cast<std::int64_t>(epoch), phase};
+    for (mpi::RankId m : members) {
+      if (m != rank.id()) rt_->send_ctrl(rank.id(), m, go);
+    }
+    co_return true;
+  }
+  mpi::Message ack;
+  ack.ctrl = mpi::CtrlKind::kBarrierAck;
+  ack.ctrl_data = {static_cast<std::int64_t>(epoch), phase};
+  rt_->send_ctrl(rank.id(), leader_of(g), ack);
+  const bool ok = co_await wait_event(
+      rank, epoch, [&st, key] { return st.barrier_go.count(key) > 0; });
+  st.barrier_go.erase(key);
+  co_return ok;
+}
+
+// ---------------------------------------------------------------- checkpoint
+
+sim::Co<void> GroupProtocol::at_safepoint(mpi::Rank& rank) {
+  RankState& st = state(rank);
+  if (!st.commit_pending) co_return;
+  if (st.commit_iteration != kAnyIteration &&
+      rank.iteration() != st.commit_iteration) {
+    GCR_CHECK_MSG(rank.iteration() < st.commit_iteration,
+                  "safe point overshot the commit target");
+    co_return;
+  }
+  st.commit_pending = false;
+  if (st.aborted.count(st.commit_epoch)) co_return;
+  co_await run_group_checkpoint(rank);
+}
+
+sim::Co<void> GroupProtocol::run_group_checkpoint(mpi::Rank& rank) {
+  RankState& st = state(rank);
+  const std::uint64_t epoch = st.commit_epoch;
+  const int g = groups_.group_of(rank.id());
+  const auto& members = groups_.members(g);
+  sim::Engine& eng = rt_->engine();
+
+  const sim::Time t_signal = st.signal_at;
+  const sim::Time t_safepoint = eng.now();
+  st.in_checkpoint = true;
+
+  // ---- lock MPI: quiesce the library (signal handling + OS jitter) ----
+  co_await sim::delay(eng, sim::from_seconds(options_.signal_handling_s) +
+                               rt_->cluster().draw_jitter(st.jitter_rng));
+  const sim::Time t_locked = eng.now();
+
+  // ---- coordination: sync logs, bookmarks, drain, barrier ----
+
+  const std::int64_t flush = st.log.unflushed_bytes();
+  if (options_.sync_flush_at_checkpoint) {
+    co_await checkpointer_->flush_log(rank.node(), flush);
+  }
+  st.log.mark_flushed();
+  metrics_->flushed_bytes += flush;
+
+  mpi::Message bookmark;
+  bookmark.ctrl = mpi::CtrlKind::kBookmark;
+  for (mpi::RankId m : members) {
+    if (m == rank.id()) continue;
+    bookmark.ctrl_data = {static_cast<std::int64_t>(epoch),
+                          rank.sent_to(m).bytes};
+    rt_->send_ctrl(rank.id(), m, bookmark);
+  }
+  bool ok = co_await wait_event(rank, epoch, [&] {
+    for (mpi::RankId m : members) {
+      if (m == rank.id()) continue;
+      auto it = st.bookmarks.find(m);
+      if (it == st.bookmarks.end()) return false;
+      if (rank.recvd_from(m).bytes < it->second) return false;  // in transit
+    }
+    return true;
+  });
+  if (ok) ok = co_await group_barrier(rank, epoch, 0);
+  const sim::Time t_coordinated = eng.now();
+
+  if (ok) {
+    // ---- checkpoint: record RR, snapshot, dump image ----
+    const int n = rt_->nranks();
+    for (int q = 0; q < n; ++q) {
+      st.rr[static_cast<std::size_t>(q)] = rank.recvd_from(q).bytes;
+      st.first_send[static_cast<std::size_t>(q)] = 1;
+    }
+    ckpt::StoredCheckpoint image;
+    image.meta.rank = rank.id();
+    image.meta.epoch = epoch;
+    image.meta.bytes = image_bytes_(rank.id());
+    image.meta.written_at = eng.now();
+    image.runtime_state = rt_->snapshot_rank(rank);
+    image.protocol_state = StateSnapshot{st.rr, st.first_send, st.log};
+    registry_->put(std::move(image));
+    co_await checkpointer_->write_image(rank.node(), image_bytes_(rank.id()));
+    const sim::Time t_image = eng.now();
+
+    // ---- finalize: wait for the whole group, resume ----
+    co_await group_barrier(rank, epoch, 1);
+    const sim::Time t_end = eng.now();
+
+    CkptRecord rec;
+    rec.rank = rank.id();
+    rec.epoch = epoch;
+    rec.signal_at = t_signal;
+    rec.begin = t_safepoint;
+    rec.end = t_end;
+    // The signal->safe-point latency is NOT a pause (the application keeps
+    // executing until the cut); per-process checkpoint time covers the pause
+    // only, matching the paper's per-phase semantics (Lock MPI is the small
+    // quiesce step).
+    rec.phases.lock_mpi = sim::to_seconds(t_locked - t_safepoint);
+    rec.phases.coordination = sim::to_seconds(t_coordinated - t_locked);
+    rec.phases.checkpoint = sim::to_seconds(t_image - t_coordinated);
+    rec.phases.finalize = sim::to_seconds(t_end - t_image);
+    metrics_->ckpts.push_back(rec);
+  }
+  // Aborted rounds are counted where the leader's round closes without a
+  // checkpoint (kAbort delivery / finish paths), not here.
+
+  st.bookmarks.clear();
+  st.in_checkpoint = false;
+  if (is_leader(rank)) st.round_open = false;
+}
+
+// ------------------------------------------------------------------ restart
+
+void GroupProtocol::stage_restore(mpi::Rank& rank,
+                                  const ckpt::StoredCheckpoint* image) {
+  RankState& st = state(rank);
+  const int n = rt_->nranks();
+  st.log.clear();
+  st.rr.assign(static_cast<std::size_t>(n), 0);
+  st.first_send.assign(static_cast<std::size_t>(n), 0);
+  st.skip_bytes.assign(static_cast<std::size_t>(n), 0);
+  st.commit_pending = false;
+  st.in_checkpoint = false;
+  st.round_open = false;
+  st.bookmarks.clear();
+  st.barrier_acks.clear();
+  st.barrier_go.clear();
+  st.prepare_replies.clear();
+  st.exchange_replies = 0;
+  st.restoring = true;
+  // Capture the restored R table NOW: it is a contiguous prefix of every
+  // peer stream. Live traffic can slip in between restore and the exchange
+  // request (a survivor may stamp the new incarnation before the exchange),
+  // and the replay bound must not move past the restored prefix — the
+  // runtime's duplicate suppression discards the overlap.
+  st.exchange_r.assign(static_cast<std::size_t>(n), 0);
+  if (image != nullptr) {
+    st.from_image = true;
+    st.restore_image_bytes = image->meta.bytes;
+    const auto& snap =
+        std::any_cast<const StateSnapshot&>(image->protocol_state);
+    st.rr = snap.rr;
+    st.first_send = snap.first_send;
+    st.log = snap.log;
+    for (std::size_t q = 0; q < snap.rr.size(); ++q) {
+      st.exchange_r[q] = image->runtime_state.recvd[q].bytes;
+    }
+  } else {
+    st.from_image = false;
+    st.restore_image_bytes = 0;
+  }
+}
+
+sim::Co<void> GroupProtocol::run_restore(mpi::Rank& rank) {
+  RankState& st = state(rank);
+  sim::Engine& eng = rt_->engine();
+  const sim::Time t_begin = eng.now();
+  if (st.from_image) {
+    co_await checkpointer_->read_image(rank.node(), st.restore_image_bytes);
+  }
+  // Restarting nodes are otherwise idle, so only the small fixed relaunch
+  // handling cost applies (no OS-contention jitter spikes here).
+  co_await sim::delay(eng, sim::from_seconds(options_.signal_handling_s));
+  const sim::Time t_loaded = eng.now();
+
+  // Volume exchange with every out-of-group process (Algorithm 1 restart).
+  int expected = 0;
+  mpi::Message req;
+  req.ctrl = mpi::CtrlKind::kExchangeRequest;
+  for (int q = 0; q < rt_->nranks(); ++q) {
+    if (groups_.same_group(rank.id(), q)) continue;
+    req.ctrl_data = {st.exchange_r[static_cast<std::size_t>(q)],
+                     rank.sent_to(q).bytes};
+    rt_->send_ctrl(rank.id(), q, req);
+    ++expected;
+  }
+  const std::uint64_t repoch = kRestartEpochBase + rank.incarnation();
+  co_await wait_event(rank, repoch,
+                      [&st, expected] { return st.exchange_replies >= expected; });
+
+  // Wait until all group members finish preparing the restart.
+  co_await group_barrier(rank, repoch, 2);
+
+  rank.resume_gate().fire();
+  st.restoring = false;
+
+  RestartRecord rec;
+  rec.rank = rank.id();
+  rec.begin = t_begin;
+  rec.end = eng.now();
+  rec.image_read_s = sim::to_seconds(t_loaded - t_begin);
+  rec.exchange_s = sim::to_seconds(eng.now() - t_loaded);
+  metrics_->restarts.push_back(rec);
+}
+
+sim::Co<void> GroupProtocol::serve_exchange(mpi::Rank& rank,
+                                            mpi::Message msg) {
+  const std::int64_t peer_r_from_me = msg.ctrl_data.at(0);
+  co_await sim::delay(rt_->engine(),
+                      sim::from_seconds(options_.exchange_handling_s));
+  co_await replay_to(rank, msg.src, peer_r_from_me);
+  mpi::Message reply;
+  reply.ctrl = mpi::CtrlKind::kExchangeReply;
+  reply.ctrl_data = {rank.recvd_from(msg.src).bytes};
+  rt_->send_ctrl(rank.id(), msg.src, reply);
+}
+
+sim::Co<void> GroupProtocol::replay_to(mpi::Rank& rank, mpi::RankId peer,
+                                       std::int64_t after) {
+  RankState& st = state(rank);
+  const auto entries = st.log.entries_after(peer, after);
+  if (entries.empty()) co_return;
+  ++metrics_->resend_ops;
+  sim::Engine& eng = rt_->engine();
+  for (const mpi::Message& m : entries) {
+    co_await sim::delay(eng, sim::from_seconds(options_.replay_per_msg_s));
+    const sim::Time egress = rt_->replay_send(rank, m);
+    ++metrics_->resend_messages;
+    metrics_->resend_bytes += m.bytes;
+    if (egress > eng.now()) co_await sim::delay(eng, egress - eng.now());
+  }
+}
+
+// ------------------------------------------------------------------- driver
+
+void GroupProtocol::request_group_checkpoint(int group) {
+  mpi::Message req;
+  req.ctrl = mpi::CtrlKind::kCkptRequest;
+  rt_->send_ctrl_from_driver(leader_of(group), req);
+}
+
+bool GroupProtocol::group_in_checkpoint(int group) const {
+  for (mpi::RankId m : groups_.members(group)) {
+    const RankState& st = *states_[static_cast<std::size_t>(m)];
+    if (st.in_checkpoint || st.commit_pending || st.round_open) return true;
+  }
+  return false;
+}
+
+bool GroupProtocol::group_restarting(int group) const {
+  for (mpi::RankId m : groups_.members(group)) {
+    if (states_[static_cast<std::size_t>(m)]->restoring) return true;
+  }
+  return false;
+}
+
+}  // namespace gcr::core

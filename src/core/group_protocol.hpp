@@ -1,0 +1,188 @@
+// Group-based checkpoint/restart protocol — the paper's Algorithm 1.
+//
+// Checkpoints are coordinated *within* each group; across groups there is no
+// coordination, only sender-based logging of inter-group messages with
+// volume accounting:
+//   * on send to an out-of-group peer: log asynchronously; on the first send
+//     after a checkpoint, piggyback RR_P (received volume recorded at the
+//     last checkpoint) so the peer can garbage-collect its log towards us;
+//   * on receive: update R_P; apply piggybacked RR to GC our log;
+//   * on a group checkpoint request: sync logs, record RR, coordinate a
+//     consistent group snapshot (bookmark + drain + barrier), dump images,
+//     barrier, resume — independent of all other groups;
+//   * on restart: exchange R/S with every out-of-group peer, replay logged
+//     messages the restarting rank lacks, and skip re-sends the peer
+//     already received.
+//
+// NORM (global coordinated ckpt, LAM/MPI) is this protocol with one group:
+// no logging, no exchanges. GP1 (uncoordinated + logging) is n groups of 1.
+//
+// Checkpoint trigger mechanics: system-level checkpointers interrupt a
+// process anywhere; our app model snapshots at iteration-boundary safe
+// points. To keep group coordination deadlock-free the leader runs a
+// prepare/commit round that picks a target iteration I beyond every
+// member's current position; members checkpoint exactly at iteration I
+// (DESIGN.md §5). Cross-group stalls remain possible and transient — they
+// are the waiting the paper measures — but never cyclic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ckpt/checkpointer.hpp"
+#include "ckpt/image.hpp"
+#include "core/metrics.hpp"
+#include "core/msglog.hpp"
+#include "group/group.hpp"
+#include "mpi/hooks.hpp"
+#include "mpi/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace gcr::core {
+
+/// Models per-process image size (the app's memory footprint).
+using ImageSizeFn = std::function<std::int64_t(mpi::RankId)>;
+
+struct GroupProtocolOptions {
+  double log_copy_Bps = 800e6;    ///< sender-side async log memcpy rate
+  double log_per_msg_s = 3e-6;    ///< per-message logging bookkeeping
+  /// If true, the "synchronize message logs" step charges the full unflushed
+  /// log to disk at checkpoint time. Default false: the asynchronous logger
+  /// flushes in the background (disk bandwidth far exceeds the logging rate
+  /// on the modeled cluster), so only accounting is recorded.
+  bool sync_flush_at_checkpoint = false;
+  double signal_handling_s = 2e-3;///< entering the checkpoint path
+  double replay_per_msg_s = 40e-6;///< daemon cost per replayed message
+  double exchange_handling_s = 150e-6;  ///< daemon cost per exchange
+  int commit_margin = 2;          ///< safe points ahead for the commit target
+  /// Single-process (uncoordinated) checkpoints are taken wherever the
+  /// signal catches the process, modeled as a per-group random skew of up
+  /// to this many safe points; coordinated groups' agreement rounds keep
+  /// their cuts within one safe point. The resulting cut misalignment is
+  /// what leaves inter-group traffic to be replayed on restart (Figs 7/8),
+  /// and why GP1's resend volumes exceed GP's.
+  int target_skew_steps = 4;
+};
+
+class GroupProtocol : public mpi::Interposer {
+ public:
+  GroupProtocol(mpi::Runtime& rt, const group::GroupSet& groups,
+                ckpt::Checkpointer& checkpointer, ckpt::ImageRegistry& registry,
+                ImageSizeFn image_bytes, Metrics& metrics,
+                GroupProtocolOptions options = {});
+
+  const group::GroupSet& groups() const { return groups_; }
+  Metrics& metrics() { return *metrics_; }
+
+  // ---- mpi::Interposer ----
+  sim::Co<bool> before_send(mpi::Rank& rank, mpi::Message& msg) override;
+  void on_deliver(mpi::Rank& rank, const mpi::Message& msg) override;
+  sim::Co<void> at_safepoint(mpi::Rank& rank) override;
+  void rank_started(mpi::Rank& rank) override;
+  void rank_finished(mpi::Rank& rank) override;
+
+  // ---- driver API (the mpirun side) ----
+  /// Injects a checkpoint request for one group: a control message from the
+  /// driver node to the group leader, which then runs prepare/commit.
+  void request_group_checkpoint(int group);
+
+  /// True while any member of the group is inside checkpoint coordination.
+  bool group_in_checkpoint(int group) const;
+  /// True while the group is restarting (exchange phase).
+  bool group_restarting(int group) const;
+
+  // ---- recovery API ----
+  /// Before respawn_rank: marks the rank as restoring and installs the
+  /// protocol-private state from the image (nullptr = restart from scratch).
+  void stage_restore(mpi::Rank& rank, const ckpt::StoredCheckpoint* image);
+
+  /// Protocol-private per-rank state stored inside checkpoint images.
+  struct StateSnapshot {
+    std::vector<std::int64_t> rr;
+    std::vector<std::uint8_t> first_send;
+    MessageLog log;
+  };
+
+  /// Message-log bytes currently held by a rank (ablation instrumentation).
+  std::int64_t log_bytes(mpi::RankId rank) const;
+
+ private:
+  struct RankState {
+    // --- Algorithm 1 data ---
+    std::vector<std::int64_t> rr;          ///< RR_X at last checkpoint
+    std::vector<std::uint8_t> first_send;  ///< piggyback-pending flags
+    MessageLog log;
+    std::vector<std::int64_t> skip_bytes;  ///< suppression during re-execution
+
+    // --- checkpoint coordination ---
+    bool commit_pending = false;
+    std::uint64_t commit_epoch = 0;
+    std::uint64_t commit_iteration = 0;
+    sim::Time signal_at = 0;        ///< prepare (or request) arrival
+    bool in_checkpoint = false;
+    std::set<std::uint64_t> aborted;  ///< epochs abandoned mid-round
+    std::map<mpi::RankId, std::int64_t> bookmarks;    ///< member S towards me
+    std::map<std::uint64_t, int> barrier_acks;        ///< leader: (key)->count
+    std::set<std::uint64_t> barrier_go;               ///< member: keys passed
+    std::unique_ptr<sim::Trigger> event;  ///< generic state-change wakeup
+
+    // --- leader round state ---
+    bool round_open = false;  ///< leader: a request is being serviced
+    std::uint64_t next_epoch = 1;
+    std::map<std::uint64_t, std::vector<std::int64_t>> prepare_replies;
+
+    // --- restart ---
+    bool restoring = false;
+    bool from_image = false;
+    std::vector<std::int64_t> exchange_r;  ///< restored R prefix per peer
+    std::int64_t restore_image_bytes = 0;
+    int exchange_replies = 0;
+
+    gcr::Rng jitter_rng{0};
+  };
+
+  RankState& state(const mpi::Rank& rank) {
+    return *states_[static_cast<std::size_t>(rank.id())];
+  }
+  mpi::RankId leader_of(int group) const {
+    return groups_.members(group).front();
+  }
+  bool is_leader(const mpi::Rank& rank) const {
+    return leader_of(groups_.group_of(rank.id())) == rank.id();
+  }
+
+  sim::Co<void> daemon_loop(mpi::Rank& rank);
+  sim::Co<void> handle_ctrl(mpi::Rank& rank, mpi::Message msg);
+  sim::Co<void> run_prepare_round(mpi::Rank& leader);
+  sim::Co<void> run_group_checkpoint(mpi::Rank& rank);
+  sim::Co<void> run_restore(mpi::Rank& rank);
+  sim::Co<void> serve_exchange(mpi::Rank& rank, mpi::Message msg);
+  sim::Co<void> replay_to(mpi::Rank& rank, mpi::RankId peer,
+                          std::int64_t after);
+  /// In-group barrier via leader (ack/go). Returns false if epoch aborted.
+  sim::Co<bool> group_barrier(mpi::Rank& rank, std::uint64_t epoch, int phase);
+  /// Waits until pred() or the epoch aborts; returns !aborted.
+  sim::Co<bool> wait_event(mpi::Rank& rank, std::uint64_t epoch,
+                           const std::function<bool()>& pred);
+  void wake(mpi::Rank& rank);
+  std::uint64_t draw_target_skew(RankState& st, bool coordinated);
+
+  static std::uint64_t barrier_key(std::uint64_t epoch, int phase) {
+    return epoch * 8 + static_cast<std::uint64_t>(phase);
+  }
+
+  mpi::Runtime* rt_;
+  group::GroupSet groups_;
+  ckpt::Checkpointer* checkpointer_;
+  ckpt::ImageRegistry* registry_;
+  ImageSizeFn image_bytes_;
+  Metrics* metrics_;
+  GroupProtocolOptions options_;
+  std::vector<std::unique_ptr<RankState>> states_;
+};
+
+}  // namespace gcr::core

@@ -1,0 +1,82 @@
+#include "core/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace gcr::core {
+
+double young_interval(double ckpt_cost_s, double mtbf_s) {
+  GCR_CHECK(ckpt_cost_s >= 0 && mtbf_s > 0);
+  return std::sqrt(2.0 * ckpt_cost_s * mtbf_s);
+}
+
+double daly_interval(double ckpt_cost_s, double mtbf_s) {
+  GCR_CHECK(ckpt_cost_s >= 0 && mtbf_s > 0);
+  if (ckpt_cost_s >= mtbf_s / 2.0) return mtbf_s;
+  const double y = std::sqrt(2.0 * ckpt_cost_s * mtbf_s);
+  // Daly 2006: T = sqrt(2 C M) * [1 + 1/3 sqrt(C/(2M)) + (1/9)(C/(2M))] - C
+  const double r = std::sqrt(ckpt_cost_s / (2.0 * mtbf_s));
+  return y * (1.0 + r / 3.0 + r * r / 9.0) - ckpt_cost_s;
+}
+
+double expected_waste_fraction(double interval_s, double ckpt_cost_s,
+                               double restart_cost_s, double mtbf_s) {
+  GCR_CHECK(interval_s > 0 && mtbf_s > 0);
+  // Overhead: one checkpoint per interval. Failures arrive at rate 1/MTBF;
+  // each loses on average half an interval of work plus the restart.
+  const double overhead = ckpt_cost_s / (interval_s + ckpt_cost_s);
+  const double per_failure_loss = interval_s / 2.0 + restart_cost_s;
+  const double failure_waste = per_failure_loss / mtbf_s;
+  return std::min(1.0, overhead + failure_waste);
+}
+
+std::vector<double> measured_group_ckpt_cost(const Metrics& metrics,
+                                             const group::GroupSet& groups) {
+  std::vector<double> sum(static_cast<std::size_t>(groups.num_groups()), 0.0);
+  std::vector<int> count(static_cast<std::size_t>(groups.num_groups()), 0);
+  double global_sum = 0;
+  int global_count = 0;
+  for (const CkptRecord& rec : metrics.ckpts) {
+    const auto g = static_cast<std::size_t>(groups.group_of(rec.rank));
+    sum[g] += rec.phases.total();
+    ++count[g];
+    global_sum += rec.phases.total();
+    ++global_count;
+  }
+  const double global_mean =
+      global_count > 0 ? global_sum / global_count : 0.0;
+  std::vector<double> cost(sum.size(), global_mean);
+  for (std::size_t g = 0; g < sum.size(); ++g) {
+    if (count[g] > 0) cost[g] = sum[g] / count[g];
+  }
+  return cost;
+}
+
+GroupIntervalPlan plan_group_intervals(
+    const std::vector<double>& group_ckpt_cost_s,
+    const std::vector<GroupReliability>& reliability) {
+  GCR_CHECK(group_ckpt_cost_s.size() == reliability.size());
+  GCR_CHECK(!group_ckpt_cost_s.empty());
+  GroupIntervalPlan plan;
+  plan.interval_s.reserve(group_ckpt_cost_s.size());
+  double failure_rate = 0;  // combined system failure rate
+  double total_cost = 0;
+  for (std::size_t g = 0; g < group_ckpt_cost_s.size(); ++g) {
+    GCR_CHECK(reliability[g].mtbf_s > 0);
+    plan.interval_s.push_back(
+        daly_interval(group_ckpt_cost_s[g], reliability[g].mtbf_s));
+    failure_rate += 1.0 / reliability[g].mtbf_s;
+    total_cost += group_ckpt_cost_s[g];
+  }
+  // A global (NORM-style) schedule must checkpoint everyone at once and
+  // survive the COMBINED failure rate.
+  const double system_mtbf = 1.0 / failure_rate;
+  const double mean_cost =
+      total_cost / static_cast<double>(group_ckpt_cost_s.size());
+  plan.uniform_interval_s = daly_interval(mean_cost, system_mtbf);
+  return plan;
+}
+
+}  // namespace gcr::core

@@ -1,0 +1,57 @@
+// Checkpoint-interval planning (paper §6/§7).
+//
+// The paper's flexibility claim: "it is possible, for example, to group
+// processor nodes that fail more frequently, and select a shorter checkpoint
+// interval, in order to increase tolerance to failures" — and its future
+// work: "the traces would also give a hint to select a fixed optimal
+// checkpoint interval". This module provides the classical first-order
+// optimum (Young) and its second-order refinement (Daly), an expected-waste
+// model to compare schedules analytically, and a planner that turns
+// per-group measured checkpoint costs + per-group MTBFs into a per-group
+// interval plan consumable by the CheckpointScheduler.
+#pragma once
+
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "group/group.hpp"
+
+namespace gcr::core {
+
+/// Young's first-order optimal interval: sqrt(2 * C * MTBF).
+double young_interval(double ckpt_cost_s, double mtbf_s);
+
+/// Daly's higher-order estimate; falls back to MTBF when C > MTBF/2.
+double daly_interval(double ckpt_cost_s, double mtbf_s);
+
+/// Expected fraction of execution time wasted (checkpoint overhead +
+/// expected rework + restart) for a periodic schedule with interval T,
+/// checkpoint cost C, restart cost R, and exponential failures with the
+/// given MTBF. First-order model (valid for T << MTBF).
+double expected_waste_fraction(double interval_s, double ckpt_cost_s,
+                               double restart_cost_s, double mtbf_s);
+
+/// Per-group checkpoint plan.
+struct GroupIntervalPlan {
+  std::vector<double> interval_s;  ///< one entry per group
+  double uniform_interval_s = 0;   ///< best single interval for comparison
+};
+
+struct GroupReliability {
+  double mtbf_s = 0;  ///< mean time between failures of this group
+};
+
+/// Extracts the mean per-process checkpoint cost of each group from
+/// measured metrics (e.g. a short profiling run with one checkpoint).
+/// Groups without records fall back to the global mean (0 if none).
+std::vector<double> measured_group_ckpt_cost(const Metrics& metrics,
+                                             const group::GroupSet& groups);
+
+/// Plans per-group intervals: group g gets daly(C_g, MTBF_g). The uniform
+/// comparison interval uses the aggregate cost and the system MTBF
+/// (harmonic combination of group failure rates).
+GroupIntervalPlan plan_group_intervals(
+    const std::vector<double>& group_ckpt_cost_s,
+    const std::vector<GroupReliability>& reliability);
+
+}  // namespace gcr::core

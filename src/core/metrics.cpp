@@ -1,0 +1,60 @@
+#include "core/metrics.hpp"
+
+namespace gcr::core {
+
+double Metrics::aggregate_ckpt_time_s() const {
+  double total = 0;
+  for (const CkptRecord& r : ckpts) total += r.phases.total();
+  return total;
+}
+
+double Metrics::aggregate_coordination_time_s() const {
+  double total = 0;
+  for (const CkptRecord& r : ckpts) {
+    total += r.phases.lock_mpi + r.phases.coordination + r.phases.finalize;
+  }
+  return total;
+}
+
+double Metrics::aggregate_restart_time_s() const {
+  double total = 0;
+  for (const RestartRecord& r : restarts) {
+    total += sim::to_seconds(r.end - r.begin);
+  }
+  return total;
+}
+
+PhaseTimes Metrics::mean_phases() const {
+  PhaseTimes sum;
+  if (ckpts.empty()) return sum;
+  for (const CkptRecord& r : ckpts) sum += r.phases;
+  const double n = static_cast<double>(ckpts.size());
+  sum.lock_mpi /= n;
+  sum.coordination /= n;
+  sum.checkpoint /= n;
+  sum.finalize /= n;
+  return sum;
+}
+
+int Metrics::completed_rounds(int nranks) const {
+  if (nranks <= 0) return 0;
+  return static_cast<int>(ckpts.size()) / nranks;
+}
+
+double Metrics::mean_ckpt_time_s() const {
+  if (ckpts.empty()) return 0;
+  double total = 0;
+  for (const CkptRecord& r : ckpts) total += r.phases.total();
+  return total / static_cast<double>(ckpts.size());
+}
+
+std::vector<trace::CkptWindow> Metrics::ckpt_windows() const {
+  std::vector<trace::CkptWindow> out;
+  out.reserve(ckpts.size());
+  for (const CkptRecord& r : ckpts) {
+    out.push_back(trace::CkptWindow{r.rank, r.begin, r.end});
+  }
+  return out;
+}
+
+}  // namespace gcr::core

@@ -1,0 +1,90 @@
+// Metrics collected by the checkpoint protocols — everything the paper's
+// figures report.
+//
+// Checkpoint time is measured per process "from the receipt of the
+// checkpoint signal until the process resumes normal execution" (paper §5.1)
+// and broken into the four phases of Figure 9. Restart time is measured
+// "from the recreation of the process to its return to normal execution".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/message.hpp"
+#include "sim/time.hpp"
+#include "trace/record.hpp"
+
+namespace gcr::core {
+
+/// Figure 9's stacked phases, in seconds.
+struct PhaseTimes {
+  double lock_mpi = 0;      ///< signal receipt -> safe point reached
+  double coordination = 0;  ///< log sync + bookmarks + drain + group barrier
+  double checkpoint = 0;    ///< image write (BLCR dump)
+  double finalize = 0;      ///< completion barrier + cleanup
+
+  double total() const {
+    return lock_mpi + coordination + checkpoint + finalize;
+  }
+  PhaseTimes& operator+=(const PhaseTimes& o) {
+    lock_mpi += o.lock_mpi;
+    coordination += o.coordination;
+    checkpoint += o.checkpoint;
+    finalize += o.finalize;
+    return *this;
+  }
+};
+
+struct CkptRecord {
+  mpi::RankId rank = 0;
+  std::uint64_t epoch = 0;
+  sim::Time signal_at = 0;  ///< checkpoint signal (prepare/request) received
+  sim::Time begin = 0;      ///< checkpoint work started (safe point)
+  sim::Time end = 0;        ///< resumed normal execution
+  PhaseTimes phases;
+};
+
+struct RestartRecord {
+  mpi::RankId rank = 0;
+  sim::Time begin = 0;  ///< process recreation started
+  sim::Time end = 0;    ///< returned to normal execution
+  double image_read_s = 0;
+  double exchange_s = 0;  ///< volume exchange + wait for group members
+};
+
+struct Metrics {
+  std::vector<CkptRecord> ckpts;
+  std::vector<RestartRecord> restarts;
+
+  // Message logging (Algorithm 1's inter-group sender logs).
+  std::int64_t logged_messages = 0;
+  std::int64_t logged_bytes = 0;
+  std::int64_t flushed_bytes = 0;
+
+  // Replay during restarts.
+  std::int64_t resend_ops = 0;       ///< directed pairs that replayed data
+  std::int64_t resend_messages = 0;  ///< individual messages resent
+  std::int64_t resend_bytes = 0;
+
+  // Checkpoint rounds that were requested but abandoned (job ended first).
+  int aborted_rounds = 0;
+
+  /// Sum over all per-process checkpoint durations (Figures 1, 6a, 11a, 12a).
+  double aggregate_ckpt_time_s() const;
+  /// Sum of the coordination+lock components only (Figure 1's estimate:
+  /// "excluding the time spent in creating the actual checkpoint image").
+  double aggregate_coordination_time_s() const;
+  /// Sum over all per-process restart durations (Figures 6b, 11b, 12b).
+  double aggregate_restart_time_s() const;
+  /// Mean per-process phase breakdown (Figure 9).
+  PhaseTimes mean_phases() const;
+  /// Completed checkpoint rounds (every rank wrote an image).
+  int completed_rounds(int nranks) const;
+  /// Mean per-process checkpoint duration (Figure 14).
+  double mean_ckpt_time_s() const;
+
+  /// Checkpoint windows for timeline rendering (Figure 2).
+  std::vector<trace::CkptWindow> ckpt_windows() const;
+};
+
+}  // namespace gcr::core

@@ -1,0 +1,56 @@
+#include "core/msglog.hpp"
+
+#include "util/assert.hpp"
+
+namespace gcr::core {
+
+void MessageLog::append(const mpi::Message& msg) {
+  auto& q = by_dst_[msg.dst];
+  GCR_CHECK_MSG(q.empty() || q.back().cum_bytes < msg.cum_bytes ||
+                    (q.back().cum_bytes == msg.cum_bytes && msg.bytes == 0),
+                "log entries must have non-decreasing cumulative volume");
+  q.push_back(msg);
+  unflushed_bytes_ += msg.bytes;
+  total_bytes_ += msg.bytes;
+  ++total_messages_;
+}
+
+std::size_t MessageLog::gc(mpi::RankId dst, std::int64_t upto) {
+  auto it = by_dst_.find(dst);
+  if (it == by_dst_.end()) return 0;
+  std::size_t dropped = 0;
+  auto& q = it->second;
+  while (!q.empty() && q.front().cum_bytes <= upto) {
+    total_bytes_ -= q.front().bytes;
+    --total_messages_;
+    q.pop_front();
+    ++dropped;
+  }
+  if (q.empty()) by_dst_.erase(it);
+  return dropped;
+}
+
+std::vector<mpi::Message> MessageLog::entries_after(mpi::RankId dst,
+                                                    std::int64_t after) const {
+  std::vector<mpi::Message> out;
+  auto it = by_dst_.find(dst);
+  if (it == by_dst_.end()) return out;
+  for (const mpi::Message& m : it->second) {
+    if (m.cum_bytes > after) out.push_back(m);
+  }
+  return out;
+}
+
+std::size_t MessageLog::entries_towards(mpi::RankId dst) const {
+  auto it = by_dst_.find(dst);
+  return it == by_dst_.end() ? 0 : it->second.size();
+}
+
+void MessageLog::clear() {
+  by_dst_.clear();
+  unflushed_bytes_ = 0;
+  total_bytes_ = 0;
+  total_messages_ = 0;
+}
+
+}  // namespace gcr::core

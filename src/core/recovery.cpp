@@ -1,0 +1,119 @@
+#include "core/recovery.hpp"
+
+#include "util/log.hpp"
+
+namespace gcr::core {
+
+RecoveryManager::RecoveryManager(mpi::Runtime& rt, GroupProtocol& protocol,
+                                 ckpt::ImageRegistry& registry,
+                                 RecoveryOptions options)
+    : rt_(&rt), protocol_(&protocol), registry_(&registry), options_(options) {}
+
+void RecoveryManager::fail_group_at(int group, sim::Time t) {
+  rt_->engine().call_at(t, [this, group] { fail_group_now(group); });
+}
+
+void RecoveryManager::fail_rank_at(mpi::RankId rank, sim::Time t) {
+  fail_group_at(protocol_->groups().group_of(rank), t);
+}
+
+bool RecoveryManager::anything_busy() const {
+  if (recoveries_in_flight_ > 0) return true;
+  for (int g = 0; g < protocol_->groups().num_groups(); ++g) {
+    if (protocol_->group_restarting(g)) return true;
+  }
+  return false;
+}
+
+void RecoveryManager::fail_group_now(int group) {
+  if (rt_->job_finished()) return;
+  if (anything_busy() || protocol_->group_in_checkpoint(group)) {
+    // Failures overlapping the target group's own checkpoint or another
+    // recovery are deferred (serialized recovery; see header). Killing a
+    // rank while a peer's restorer is mid-exchange with it would strand the
+    // peer (dropped control traffic), so the whole kill->resume window is
+    // exclusive.
+    rt_->engine().call_after(sim::from_seconds(options_.busy_retry_s),
+                             [this, group] { fail_group_now(group); });
+    return;
+  }
+  ++failures_;
+  ++recoveries_in_flight_;
+  const auto members = protocol_->groups().members(group);
+  GCR_INFO("injecting failure of group %d (%zu ranks) at t=%.3fs", group,
+           members.size(), sim::to_seconds(rt_->engine().now()));
+  for (mpi::RankId r : members) {
+    rt_->kill_rank(rt_->rank(r));
+  }
+  const sim::Time delay =
+      sim::from_seconds(options_.detect_s + options_.relaunch_s);
+  rt_->engine().call_after(delay, [this, members, group] {
+    restore_ranks(members);
+    poll_recovery_done(group);
+  });
+}
+
+void RecoveryManager::poll_recovery_done(int group) {
+  if (protocol_->group_restarting(group)) {
+    rt_->engine().call_after(sim::from_seconds(options_.busy_retry_s),
+                             [this, group] { poll_recovery_done(group); });
+    return;
+  }
+  --recoveries_in_flight_;
+}
+
+void RecoveryManager::arm_random_failures(const std::vector<double>& mtbf_s) {
+  GCR_CHECK(static_cast<int>(mtbf_s.size()) ==
+            protocol_->groups().num_groups());
+  failure_rngs_.clear();
+  for (std::size_t g = 0; g < mtbf_s.size(); ++g) {
+    failure_rngs_.push_back(rt_->cluster().make_rng(
+        0xFA11 + static_cast<std::uint64_t>(g)));
+  }
+  for (std::size_t g = 0; g < mtbf_s.size(); ++g) {
+    if (mtbf_s[g] > 0) {
+      schedule_next_random_failure(static_cast<int>(g), mtbf_s[g]);
+    }
+  }
+}
+
+void RecoveryManager::schedule_next_random_failure(int group, double mtbf_s) {
+  const double wait =
+      failure_rngs_[static_cast<std::size_t>(group)].next_exponential(mtbf_s);
+  rt_->engine().call_after(sim::from_seconds(wait), [this, group, mtbf_s] {
+    if (rt_->job_finished()) return;
+    fail_group_now(group);
+    schedule_next_random_failure(group, mtbf_s);
+  });
+}
+
+void RecoveryManager::restart_all_at(sim::Time t) {
+  rt_->engine().call_at(t, [this] {
+    std::vector<mpi::RankId> all;
+    for (int r = 0; r < rt_->nranks(); ++r) {
+      all.push_back(r);
+      if (rt_->rank(r).alive()) rt_->kill_rank(rt_->rank(r));
+    }
+    rt_->engine().call_after(sim::from_seconds(options_.relaunch_s),
+                             [this, all] { restore_ranks(all); });
+  });
+}
+
+void RecoveryManager::restore_ranks(const std::vector<mpi::RankId>& ranks) {
+  // Two passes: install every rank's state first, then respawn, so daemons
+  // never see a peer in a half-reset state.
+  for (mpi::RankId r : ranks) {
+    mpi::Rank& rank = rt_->rank(r);
+    rt_->begin_restart(rank);
+    const ckpt::StoredCheckpoint* image = registry_->latest(r);
+    if (image != nullptr) {
+      rt_->restore_rank(rank, image->runtime_state);
+    }
+    protocol_->stage_restore(rank, image);
+  }
+  for (mpi::RankId r : ranks) {
+    rt_->respawn_rank(rt_->rank(r));
+  }
+}
+
+}  // namespace gcr::core

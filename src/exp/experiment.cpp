@@ -1,0 +1,152 @@
+#include "exp/experiment.hpp"
+
+#include <memory>
+
+#include "group/formation.hpp"
+#include "group/strategies.hpp"
+#include "mpi/runtime.hpp"
+#include "trace/tracer.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace gcr::exp {
+namespace {
+
+sim::ClusterParams make_cluster_params(const ExperimentConfig& config) {
+  sim::ClusterParams cp;
+  cp.num_nodes = config.nranks + 1;  // + driver (mpirun) node
+  cp.seed = config.seed;
+  cp.net.latency_s = config.net_latency_s;
+  cp.net.bandwidth_Bps = config.net_bandwidth_Bps;
+  cp.local_disk.bandwidth_Bps = config.disk_bandwidth_Bps;
+  cp.num_remote_servers = config.remote_storage ? config.remote_servers : 0;
+  cp.remote_server.bandwidth_Bps = config.remote_bandwidth_Bps;
+  cp.jitter.enabled = config.jitter;
+  return cp;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  GCR_CHECK(config.app != nullptr);
+  GCR_CHECK(config.nranks > 0);
+
+  sim::Cluster cluster(make_cluster_params(config));
+  mpi::Runtime runtime(cluster, config.nranks);
+  apps::AppSpec spec = config.app(config.nranks);
+
+  ckpt::CheckpointerOptions ckpt_opts;
+  ckpt_opts.remote_storage = config.remote_storage;
+  ckpt::Checkpointer checkpointer(cluster, ckpt_opts);
+  ckpt::ImageRegistry registry;
+  core::Metrics metrics;
+
+  trace::Tracer tracer;
+  if (config.collect_trace) {
+    tracer.attach_clock(cluster.engine());
+    runtime.add_observer(&tracer);
+  }
+
+  std::unique_ptr<core::GroupProtocol> group_protocol;
+  std::unique_ptr<core::VclProtocol> vcl_protocol;
+  std::unique_ptr<core::CheckpointScheduler> scheduler;
+  std::unique_ptr<core::RecoveryManager> recovery;
+
+  if (config.protocol == ProtocolKind::kGroup) {
+    GCR_CHECK_MSG(config.groups.has_value(),
+                  "group protocol requires a GroupSet");
+    group_protocol = std::make_unique<core::GroupProtocol>(
+        runtime, *config.groups, checkpointer, registry, spec.image_bytes,
+        metrics);
+    runtime.set_protocol(group_protocol.get());
+    if (!config.per_group_intervals.empty()) {
+      core::CheckpointScheduler::start_per_group(runtime, *group_protocol,
+                                                 config.per_group_intervals);
+    } else if (config.checkpoints) {
+      scheduler = std::make_unique<core::CheckpointScheduler>(
+          core::CheckpointScheduler::for_groups(runtime, *group_protocol,
+                                                config.schedule));
+    }
+    recovery = std::make_unique<core::RecoveryManager>(
+        runtime, *group_protocol, registry, config.recovery);
+    for (const FailurePlan& f : config.failures) {
+      recovery->fail_group_at(f.group, sim::from_seconds(f.at_s));
+    }
+    if (!config.random_failure_mtbf_s.empty()) {
+      recovery->arm_random_failures(config.random_failure_mtbf_s);
+    }
+  } else {
+    GCR_CHECK_MSG(config.failures.empty() && !config.restart_after_finish,
+                  "VCL restart/failures are not supported (see DESIGN.md)");
+    vcl_protocol = std::make_unique<core::VclProtocol>(
+        runtime, checkpointer, spec.image_bytes, metrics);
+    runtime.set_protocol(vcl_protocol.get());
+    if (config.checkpoints) {
+      scheduler = std::make_unique<core::CheckpointScheduler>(
+          core::CheckpointScheduler::for_vcl(runtime, *vcl_protocol,
+                                             config.schedule));
+    }
+  }
+  if (scheduler) scheduler->start();
+
+  runtime.start_app(spec.body);
+
+  const sim::Time deadline = sim::from_seconds(config.max_sim_s);
+  cluster.engine().run_while([&] {
+    return !runtime.job_finished() && cluster.engine().now() < deadline;
+  });
+
+  ExperimentResult result;
+  result.finished = runtime.job_finished();
+  result.exec_time_s = sim::to_seconds(cluster.engine().now());
+  result.app_messages = runtime.app_messages_sent();
+  result.app_bytes = runtime.app_bytes_sent();
+  result.failures_injected = recovery ? recovery->failures_injected() : 0;
+
+  if (result.finished && config.restart_after_finish && recovery) {
+    const std::size_t before = metrics.restarts.size();
+    recovery->restart_all_at(cluster.engine().now() + sim::from_seconds(1.0));
+    const std::size_t want = before + static_cast<std::size_t>(config.nranks);
+    cluster.engine().run_while([&] {
+      return metrics.restarts.size() < want &&
+             cluster.engine().now() < deadline + sim::from_seconds(5000);
+    });
+    GCR_CHECK_MSG(metrics.restarts.size() >= want,
+                  "whole-application restart did not complete");
+    for (std::size_t i = before; i < metrics.restarts.size(); ++i) {
+      const auto& r = metrics.restarts[i];
+      result.restart_aggregate_s += sim::to_seconds(r.end - r.begin);
+      result.restart_records.push_back(r);
+    }
+  }
+
+  result.checkpoints_completed = metrics.completed_rounds(config.nranks);
+  result.metrics = std::move(metrics);
+  if (config.collect_trace) result.trace = tracer.take();
+  return result;
+}
+
+trace::Trace profile_app(const AppFactory& app, int nranks,
+                         std::uint64_t seed) {
+  ExperimentConfig config;
+  config.app = app;
+  config.nranks = nranks;
+  config.seed = seed;
+  config.collect_trace = true;
+  config.protocol = ProtocolKind::kGroup;
+  config.groups = group::make_norm(nranks);
+  config.checkpoints = false;
+  ExperimentResult result = run_experiment(config);
+  GCR_CHECK_MSG(result.finished, "profiling run did not finish");
+  return std::move(result.trace);
+}
+
+group::GroupSet derive_groups(const AppFactory& app, int nranks,
+                              int max_group_size, std::uint64_t seed) {
+  const trace::Trace trace = profile_app(app, nranks, seed);
+  group::FormationOptions options;
+  options.max_group_size = max_group_size;
+  return group::form_groups_from_trace(nranks, trace, options);
+}
+
+}  // namespace gcr::exp

@@ -1,0 +1,111 @@
+// Experiment harness: one config in, one simulated run out.
+//
+// Wires cluster + runtime + protocol + checkpointer + scheduler + recovery
+// together the same way for every bench/test, so figures differ only in the
+// parameters the paper varies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "ckpt/checkpointer.hpp"
+#include "core/group_protocol.hpp"
+#include "core/metrics.hpp"
+#include "core/recovery.hpp"
+#include "core/scheduler.hpp"
+#include "core/vcl_protocol.hpp"
+#include "group/group.hpp"
+#include "sim/cluster.hpp"
+#include "trace/record.hpp"
+
+namespace gcr::exp {
+
+enum class ProtocolKind {
+  kGroup,  ///< Algorithm 1 (NORM/GP1/GPk/GP are groupings of this)
+  kVcl,    ///< MPICH-VCL-style non-blocking coordinated
+};
+
+using AppFactory = std::function<apps::AppSpec(int nranks)>;
+
+struct FailurePlan {
+  int group = 0;
+  double at_s = 0;
+};
+
+struct ExperimentConfig {
+  AppFactory app;
+  int nranks = 16;
+  std::uint64_t seed = 1;
+
+  // Cluster model (Gideon-300 defaults; see DESIGN.md §6).
+  double net_latency_s = 70e-6;
+  double net_bandwidth_Bps = 12.5e6;
+  // Local image writes land in the page cache first (512 MB nodes); the
+  // effective rate seen by the checkpointer is memory-copy-bound, not raw
+  // IDE-disk-bound. Calibrated against the paper's Figure 9 image phases.
+  double disk_bandwidth_Bps = 100e6;
+  bool remote_storage = false;  ///< images go to 4 shared NFS servers
+  int remote_servers = 4;
+  double remote_bandwidth_Bps = 12.5e6;
+  bool jitter = true;
+
+  // Protocol.
+  ProtocolKind protocol = ProtocolKind::kGroup;
+  std::optional<group::GroupSet> groups;  ///< required for kGroup
+
+  // Checkpoint schedule (enable with first_at_s/interval via `schedule`).
+  bool checkpoints = false;
+  core::SchedulerOptions schedule{};
+  // Non-empty: per-group periodic intervals (seconds; one per group,
+  // 0 = that group never checkpoints). Overrides `schedule` for the group
+  // protocol — the paper's "flaky groups checkpoint more often" feature.
+  std::vector<double> per_group_intervals;
+
+  // Failure injection (group protocol only).
+  std::vector<FailurePlan> failures;
+  // Non-empty: random failures, one MTBF per group (seconds; <=0 = group
+  // never fails), exponential arrivals until the job completes.
+  std::vector<double> random_failure_mtbf_s;
+  core::RecoveryOptions recovery{};
+
+  // The paper's restart experiment: after the job finishes, restart the
+  // whole application from the stored images and measure restart prep.
+  bool restart_after_finish = false;
+
+  // Collect a full communication trace (profiling mode).
+  bool collect_trace = false;
+
+  // Watchdog: abort the run if simulated time exceeds this.
+  double max_sim_s = 50000.0;
+};
+
+struct ExperimentResult {
+  double exec_time_s = 0;  ///< job completion (simulated)
+  core::Metrics metrics;
+  trace::Trace trace;
+  std::int64_t app_messages = 0;
+  std::int64_t app_bytes = 0;
+  int checkpoints_completed = 0;
+  int failures_injected = 0;
+  bool finished = false;  ///< false if the watchdog tripped
+
+  /// Restart-experiment aggregates (valid when restart_after_finish).
+  double restart_aggregate_s = 0;
+  std::vector<core::RestartRecord> restart_records;
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Profiling helper: runs the app once with the tracer linked in (no
+/// checkpoints) and returns the trace — the paper's group-formation input.
+trace::Trace profile_app(const AppFactory& app, int nranks,
+                         std::uint64_t seed = 1);
+
+/// Full trace-assisted workflow: profile, then run Algorithm 2.
+group::GroupSet derive_groups(const AppFactory& app, int nranks,
+                              int max_group_size = 0, std::uint64_t seed = 1);
+
+}  // namespace gcr::exp

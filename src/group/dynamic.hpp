@@ -1,0 +1,46 @@
+// Gopalan–Nagarajan dynamic dependent process groups (related work, paper
+// §6): processes/groups are merged whenever one sends a message to the
+// other, with NO size bound. The paper's criticism — "all processes may
+// eventually form a single group when there is a sequence of messages
+// linking up all the processes" — is demonstrated by the
+// ablation_dynamic_grouping bench using this implementation.
+#pragma once
+
+#include <vector>
+
+#include "group/group.hpp"
+#include "trace/record.hpp"
+
+namespace gcr::group {
+
+/// Online union-find merging on communication events.
+class DynamicGrouper {
+ public:
+  explicit DynamicGrouper(int nranks);
+
+  /// Observes one message; merges the endpoint groups.
+  void on_message(mpi::RankId src, mpi::RankId dst);
+
+  /// Current number of distinct groups.
+  int num_groups() const;
+
+  /// Snapshot of the current grouping.
+  GroupSet current() const;
+
+ private:
+  int find(int r) const;
+
+  mutable std::vector<int> parent_;
+  int groups_;
+};
+
+/// Replays a trace's sends through the dynamic grouper and returns the final
+/// grouping plus the number of messages after which everything collapsed
+/// into one group (-1 if it never fully collapsed).
+struct DynamicReplayResult {
+  GroupSet final_groups;
+  std::int64_t messages_until_collapse = -1;
+};
+DynamicReplayResult replay_dynamic(int nranks, const trace::Trace& trace);
+
+}  // namespace gcr::group

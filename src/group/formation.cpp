@@ -1,0 +1,81 @@
+#include "group/formation.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace gcr::group {
+
+int default_max_group_size(int nranks) {
+  GCR_CHECK(nranks > 0);
+  const int g = static_cast<int>(std::sqrt(static_cast<double>(nranks)));
+  return g < 2 ? 2 : g;
+}
+
+GroupSet form_groups(int nranks, const std::vector<trace::PairVolume>& pairs,
+                     const FormationOptions& options) {
+  GCR_CHECK(nranks > 0);
+  const int max_size = options.max_group_size > 0
+                           ? options.max_group_size
+                           : default_max_group_size(nranks);
+  GCR_CHECK_MSG(max_size >= 1, "max group size must be positive");
+
+  // Output list M, with group_index[rank] implementing find(P, M).
+  // Merged-away entries are tombstoned (empty).
+  std::vector<std::vector<mpi::RankId>> groups;
+  std::vector<int> group_index(static_cast<std::size_t>(nranks), -1);
+
+  auto group_size = [&](int gi) {
+    return static_cast<int>(groups[static_cast<std::size_t>(gi)].size());
+  };
+  auto add_rank = [&](int gi, mpi::RankId r) {
+    groups[static_cast<std::size_t>(gi)].push_back(r);
+    group_index[static_cast<std::size_t>(r)] = gi;
+  };
+
+  for (const trace::PairVolume& pv : pairs) {
+    GCR_CHECK(pv.a >= 0 && pv.a < nranks && pv.b >= 0 && pv.b < nranks);
+    const int g1 = group_index[static_cast<std::size_t>(pv.a)];
+    const int g2 = group_index[static_cast<std::size_t>(pv.b)];
+    if (g1 == -1 && g2 == -1) {
+      // New two-process group (only if a pair fits at all).
+      if (max_size >= 2) {
+        groups.emplace_back();
+        add_rank(static_cast<int>(groups.size()) - 1, pv.a);
+        add_rank(static_cast<int>(groups.size()) - 1, pv.b);
+      }
+    } else if (g2 == -1) {
+      if (group_size(g1) + 1 <= max_size) add_rank(g1, pv.b);
+    } else if (g1 == -1) {
+      if (group_size(g2) + 1 <= max_size) add_rank(g2, pv.a);
+    } else if (g1 == g2) {
+      // Both already together: nothing to do (volumes just accumulate).
+    } else if (group_size(g1) + group_size(g2) <= max_size) {
+      // Merge the two groups (R1 <- R1 + R2 + Li; delete R2).
+      for (mpi::RankId r : groups[static_cast<std::size_t>(g2)]) {
+        add_rank(g1, r);
+      }
+      groups[static_cast<std::size_t>(g2)].clear();  // tombstone
+    }
+  }
+
+  // Ungrouped ranks (no qualifying traffic) stay as singleton groups.
+  std::vector<std::vector<mpi::RankId>> result;
+  for (auto& g : groups) {
+    if (!g.empty()) result.push_back(std::move(g));
+  }
+  for (mpi::RankId r = 0; r < nranks; ++r) {
+    if (group_index[static_cast<std::size_t>(r)] == -1) {
+      result.push_back({r});
+    }
+  }
+  return GroupSet(nranks, std::move(result));
+}
+
+GroupSet form_groups_from_trace(int nranks, const trace::Trace& trace,
+                                const FormationOptions& options) {
+  return form_groups(nranks, trace::aggregate_pairs(trace), options);
+}
+
+}  // namespace gcr::group

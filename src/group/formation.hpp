@@ -1,0 +1,35 @@
+// Algorithm 2: trace-assisted group formation.
+//
+// Input: aggregated pair volumes (trace/analysis.hpp), sorted descending by
+// size then count. Each pair is merged into the output group list under a
+// maximum group size G (default ⌊√n⌋). Ranks that never communicate stay in
+// singleton groups (the paper: "unrelated groups without any message
+// transfers should not be merged").
+#pragma once
+
+#include <vector>
+
+#include "group/group.hpp"
+#include "trace/analysis.hpp"
+
+namespace gcr::group {
+
+struct FormationOptions {
+  /// Maximum group size G; 0 means the paper's default ⌊√nranks⌋.
+  int max_group_size = 0;
+};
+
+/// The paper's default bound: ⌊√n⌋, but at least 2 so pairs can form.
+int default_max_group_size(int nranks);
+
+/// Runs Algorithm 2 on pre-aggregated pair volumes (must already be sorted
+/// as produced by trace::aggregate_pairs). Ranks not covered by any tuple
+/// become singleton groups.
+GroupSet form_groups(int nranks, const std::vector<trace::PairVolume>& pairs,
+                     const FormationOptions& options = {});
+
+/// Convenience: aggregate a raw trace, then form groups.
+GroupSet form_groups_from_trace(int nranks, const trace::Trace& trace,
+                                const FormationOptions& options = {});
+
+}  // namespace gcr::group

@@ -1,0 +1,59 @@
+#include "group/strategies.hpp"
+
+#include "util/assert.hpp"
+
+namespace gcr::group {
+
+GroupSet make_norm(int nranks) {
+  std::vector<mpi::RankId> all;
+  all.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) all.push_back(r);
+  return GroupSet(nranks, {std::move(all)});
+}
+
+GroupSet make_gp1(int nranks) {
+  std::vector<std::vector<mpi::RankId>> groups;
+  groups.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) groups.push_back({r});
+  return GroupSet(nranks, std::move(groups));
+}
+
+GroupSet make_sequential(int nranks, int k) {
+  GCR_CHECK(k > 0 && k <= nranks);
+  std::vector<std::vector<mpi::RankId>> groups(static_cast<std::size_t>(k));
+  // Distribute sizes as evenly as possible: first (nranks % k) groups get
+  // one extra member.
+  const int base = nranks / k;
+  const int extra = nranks % k;
+  int next = 0;
+  for (int g = 0; g < k; ++g) {
+    const int size = base + (g < extra ? 1 : 0);
+    for (int i = 0; i < size; ++i) {
+      groups[static_cast<std::size_t>(g)].push_back(next++);
+    }
+  }
+  GCR_CHECK(next == nranks);
+  return GroupSet(nranks, std::move(groups));
+}
+
+GroupSet make_round_robin(int nranks, int k) {
+  GCR_CHECK(k > 0 && k <= nranks);
+  std::vector<std::vector<mpi::RankId>> groups(static_cast<std::size_t>(k));
+  for (int r = 0; r < nranks; ++r) {
+    groups[static_cast<std::size_t>(r % k)].push_back(r);
+  }
+  return GroupSet(nranks, std::move(groups));
+}
+
+GroupSet make_blocks(int nranks, int width) {
+  GCR_CHECK(width > 0);
+  std::vector<std::vector<mpi::RankId>> groups;
+  for (int start = 0; start < nranks; start += width) {
+    std::vector<mpi::RankId> g;
+    for (int r = start; r < nranks && r < start + width; ++r) g.push_back(r);
+    groups.push_back(std::move(g));
+  }
+  return GroupSet(nranks, std::move(groups));
+}
+
+}  // namespace gcr::group

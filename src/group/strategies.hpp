@@ -1,0 +1,28 @@
+// Canned grouping strategies used throughout the paper's evaluation:
+//   NORM  — one global group (original LAM/MPI coordinated checkpoint)
+//   GP1   — one process per group (uncoordinated + full message logging)
+//   GPk   — k groups of sequential ranks (the "ad-hoc" GP4 baseline)
+//   round-robin — rank r in group r % k (what Algorithm 2 discovers for
+//                 HPL's row-major P×Q grids, Table 1)
+#pragma once
+
+#include "group/group.hpp"
+
+namespace gcr::group {
+
+/// One group containing every rank.
+GroupSet make_norm(int nranks);
+
+/// Every rank is its own group.
+GroupSet make_gp1(int nranks);
+
+/// k groups of contiguous ranks (sizes differ by at most one).
+GroupSet make_sequential(int nranks, int k);
+
+/// k groups, rank r assigned to group r % k.
+GroupSet make_round_robin(int nranks, int k);
+
+/// Groups of exactly `width` consecutive ranks (last may be smaller).
+GroupSet make_blocks(int nranks, int width);
+
+}  // namespace gcr::group

@@ -1,0 +1,89 @@
+// Channel<T>: unbounded FIFO with awaitable pop.
+//
+// The MiniMPI runtime uses channels for per-rank delivery queues and the
+// protocol daemons use them for control traffic. Values pushed while a
+// receiver waits are handed over directly; a receiver killed while waiting
+// leaves a claimed entry that later pushes skip over.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace gcr::sim {
+
+template <class T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(&engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Delivers a value: wakes the oldest live waiter or queues the value.
+  void push(T value) {
+    while (!waiters_.empty()) {
+      Entry e = std::move(waiters_.front());
+      waiters_.pop_front();
+      if (e.waiter->fired) continue;  // waiter was killed; skip it
+      *e.slot = std::move(value);
+      const bool claimed = engine_->fire(e.waiter);
+      GCR_ASSERT(claimed);
+      (void)claimed;
+      return;
+    }
+    items_.push_back(std::move(value));
+  }
+
+  /// Removes all queued values (used when a rank is torn down).
+  void clear() { items_.clear(); }
+
+  /// Snapshot access for checkpointing the queue contents.
+  const std::deque<T>& items() const { return items_; }
+
+  /// co_await channel.pop() -> T. FIFO among waiters.
+  auto pop() {
+    struct Awaiter {
+      Channel* channel;
+      T value{};
+      bool immediate = false;
+      WaiterPtr waiter;
+
+      bool await_ready() {
+        if (!channel->items_.empty() && channel->waiters_.empty()) {
+          value = std::move(channel->items_.front());
+          channel->items_.pop_front();
+          immediate = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        waiter = channel->engine_->suspend_current(h);
+        channel->waiters_.push_back({waiter, &value});
+      }
+      T await_resume() {
+        if (!immediate) channel->engine_->finish_wait(waiter);
+        return std::move(value);
+      }
+    };
+    return Awaiter{this, {}, false, nullptr};
+  }
+
+ private:
+  struct Entry {
+    WaiterPtr waiter;
+    T* slot;
+  };
+
+  Engine* engine_;
+  std::deque<T> items_;
+  std::deque<Entry> waiters_;
+};
+
+}  // namespace gcr::sim

@@ -1,0 +1,89 @@
+// Cluster: the simulated machine — engine + network + disks + jitter + seed.
+//
+// One Cluster is one reproducible experiment environment. Every stochastic
+// component draws from a substream derived from (run seed, stream id), so
+// adding a new consumer never perturbs existing streams.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/jitter.hpp"
+#include "sim/network.hpp"
+#include "sim/storage.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace gcr::sim {
+
+struct ClusterParams {
+  int num_nodes = 16;
+  std::uint64_t seed = 1;
+  NetParams net;
+  StorageParams local_disk{/*bandwidth_Bps=*/100e6, /*latency_s=*/5e-3};
+  int num_remote_servers = 0;  ///< checkpoint servers (0 = local disk only)
+  StorageParams remote_server{/*bandwidth_Bps=*/12.5e6, /*latency_s=*/10e-3};
+  JitterParams jitter;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterParams& params)
+      : params_(params),
+        network_(engine_, params.num_nodes, params.net),
+        jitter_(params.jitter) {
+    GCR_CHECK(params.num_nodes > 0);
+    local_disks_.reserve(static_cast<std::size_t>(params.num_nodes));
+    for (int n = 0; n < params.num_nodes; ++n) {
+      local_disks_.push_back(std::make_unique<StorageDevice>(
+          engine_, "disk" + std::to_string(n), params.local_disk));
+    }
+    for (int s = 0; s < params.num_remote_servers; ++s) {
+      remote_servers_.push_back(std::make_unique<StorageDevice>(
+          engine_, "nfs" + std::to_string(s), params.remote_server));
+    }
+  }
+
+  const ClusterParams& params() const { return params_; }
+  Engine& engine() { return engine_; }
+  Network& network() { return network_; }
+  const JitterModel& jitter_model() const { return jitter_; }
+
+  int num_nodes() const { return params_.num_nodes; }
+
+  StorageDevice& local_disk(int node) {
+    GCR_CHECK(node >= 0 && node < num_nodes());
+    return *local_disks_[static_cast<std::size_t>(node)];
+  }
+
+  bool has_remote_storage() const { return !remote_servers_.empty(); }
+
+  /// The checkpoint server a given node writes to (round-robin assignment,
+  /// matching the paper's 4-isolated-server setup).
+  StorageDevice& remote_server_for(int node) {
+    GCR_CHECK(has_remote_storage());
+    return *remote_servers_[static_cast<std::size_t>(node) %
+                            remote_servers_.size()];
+  }
+
+  /// Deterministic substream for a named consumer.
+  Rng make_rng(std::uint64_t stream_id) const {
+    return Rng(mix_seed(params_.seed, stream_id));
+  }
+
+  /// One jitter sample from the given stream.
+  Time draw_jitter(Rng& rng) const { return jitter_.draw(rng); }
+
+ private:
+  ClusterParams params_;
+  Engine engine_;
+  Network network_;
+  JitterModel jitter_;
+  std::vector<std::unique_ptr<StorageDevice>> local_disks_;
+  std::vector<std::unique_ptr<StorageDevice>> remote_servers_;
+};
+
+}  // namespace gcr::sim

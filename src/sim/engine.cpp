@@ -1,0 +1,157 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace gcr::sim {
+namespace {
+
+/// Eagerly-destroyed top-level coroutine that drives one process body.
+/// initial_suspend is suspend_always (the engine schedules the first resume);
+/// final_suspend is suspend_never so the frame frees itself on completion.
+struct RootTask {
+  struct promise_type {
+    RootTask get_return_object() {
+      return {std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() {
+      GCR_CHECK_MSG(false,
+                    "exception escaped a simulated process; application "
+                    "coroutines must only exit normally or via kill()");
+    }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+}  // namespace
+
+// Defined outside the anonymous namespace so it can be declared a friend if
+// ever needed; only used by Engine::spawn.
+static RootTask root_driver(Engine& eng, ProcPtr proc, Co<void> body,
+                            std::function<void(Proc&, ExitKind)> on_exit) {
+  ExitKind kind = ExitKind::kFinished;
+  if (!proc->killed()) {
+    try {
+      co_await std::move(body);
+    } catch (const ProcessKilled&) {
+      kind = ExitKind::kKilled;
+    }
+  } else {
+    kind = ExitKind::kKilled;  // killed before the first instruction ran
+  }
+  eng.note_root_exit(*proc, kind);
+  if (on_exit) on_exit(*proc, kind);
+}
+
+void Engine::call_at(Time t, std::function<void()> fn) {
+  GCR_ASSERT(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+ProcPtr Engine::spawn(std::string name, Co<void> body,
+                      std::function<void(Proc&, ExitKind)> on_exit) {
+  auto proc = std::make_shared<Proc>(next_pid_++, std::move(name));
+  ++live_processes_;
+  RootTask root =
+      root_driver(*this, proc, std::move(body), std::move(on_exit));
+  auto w = std::make_shared<Waiter>();
+  w->handle = root.handle;
+  w->proc = proc.get();
+  proc->active_wait = w;
+  fire_at(now_, std::move(w));
+  return proc;
+}
+
+void Engine::kill(Proc& proc) {
+  GCR_CHECK_MSG(&proc != current_, "a process must not kill itself");
+  if (proc.killed_ || !proc.alive_) return;
+  proc.killed_ = true;
+  if (proc.active_wait && !proc.active_wait->fired) {
+    fire(proc.active_wait);
+  }
+  // If there is no active wait the process has been spawned but its start
+  // event is still queued as a fired=false waiter... that case is covered:
+  // the start waiter IS the active wait. A live process is always either
+  // running (excluded above) or suspended with an active wait.
+}
+
+void Engine::note_root_exit(Proc& proc, ExitKind kind) {
+  (void)kind;
+  proc.alive_ = false;
+  proc.active_wait.reset();
+  GCR_ASSERT(live_processes_ > 0);
+  --live_processes_;
+}
+
+std::uint64_t Engine::run(Time until) {
+  std::uint64_t processed = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    GCR_ASSERT(ev.at >= now_);
+    now_ = ev.at;
+    ev.fn();
+    ++processed;
+    ++events_processed_;
+  }
+  if (queue_.empty() && now_ < until && until != kTimeMax) now_ = until;
+  return processed;
+}
+
+std::uint64_t Engine::run_while(const std::function<bool()>& keep_going) {
+  std::uint64_t processed = 0;
+  while (!queue_.empty() && keep_going()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    GCR_ASSERT(ev.at >= now_);
+    now_ = ev.at;
+    ev.fn();
+    ++processed;
+    ++events_processed_;
+  }
+  return processed;
+}
+
+WaiterPtr Engine::suspend_current(std::coroutine_handle<> h) {
+  auto w = std::make_shared<Waiter>();
+  w->handle = h;
+  w->proc = current_;
+  if (current_) current_->active_wait = w;
+  return w;
+}
+
+bool Engine::fire(const WaiterPtr& w) {
+  if (w->fired) return false;
+  w->fired = true;
+  WaiterPtr keep = w;  // keep alive until the resume executes
+  post([this, keep] { resume_waiter(keep); });
+  return true;
+}
+
+void Engine::fire_at(Time t, WaiterPtr w) {
+  call_at(t, [this, w = std::move(w)] {
+    if (w->fired) return;  // claimed by another source (e.g. kill)
+    w->fired = true;
+    resume_waiter(w);
+  });
+}
+
+void Engine::finish_wait(const WaiterPtr& w) {
+  if (w->proc && w->proc->killed_) throw ProcessKilled{};
+}
+
+void Engine::resume_waiter(const WaiterPtr& w) {
+  GCR_ASSERT(w->fired);
+  Proc* prev = current_;
+  current_ = w->proc;
+  if (w->proc && w->proc->active_wait == w) w->proc->active_wait.reset();
+  w->handle.resume();
+  current_ = prev;
+}
+
+}  // namespace gcr::sim

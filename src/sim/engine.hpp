@@ -1,0 +1,156 @@
+// Discrete-event engine driving coroutine processes.
+//
+// Single-threaded. Events are totally ordered by (time, insertion sequence),
+// so one seed gives bit-identical runs. Two event kinds share the queue:
+// plain callbacks (daemons, request delivery) and waiter resumptions
+// (suspended process coroutines).
+//
+// Kill protocol: processes are never destroyed from the outside. kill() marks
+// the process and claims its currently-armed waiter for immediate resumption;
+// the awaitable's await_resume sees the flag and throws ProcessKilled, which
+// unwinds the coroutine chain (RAII deregisters everything) up to the root
+// driver, which reports the exit. See DESIGN.md §5.1.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/co.hpp"
+#include "sim/time.hpp"
+
+namespace gcr::sim {
+
+class Engine;
+
+/// One suspended coroutine waiting for a resumption. Exactly one resumption
+/// source may "claim" it (fired flag); later sources see fired and back off.
+/// Held by shared_ptr so a cancelled timer or channel entry can outlive the
+/// coroutine frame safely.
+struct Waiter {
+  std::coroutine_handle<> handle;
+  class Proc* proc = nullptr;
+  bool fired = false;
+};
+
+using WaiterPtr = std::shared_ptr<Waiter>;
+
+enum class ExitKind { kFinished, kKilled };
+
+/// Execution context of one simulated process (one coroutine chain).
+class Proc {
+ public:
+  Proc(std::uint64_t pid, std::string name) : pid_(pid), name_(std::move(name)) {}
+
+  std::uint64_t pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  bool killed() const { return killed_; }
+  bool alive() const { return alive_; }
+
+ private:
+  friend class Engine;
+  std::uint64_t pid_;
+  std::string name_;
+  bool killed_ = false;
+  bool alive_ = true;    // false once the root driver finishes/unwinds
+  WaiterPtr active_wait; // innermost armed engine waiter, if suspended
+};
+
+using ProcPtr = std::shared_ptr<Proc>;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  // --- plain callbacks ---
+  void call_at(Time t, std::function<void()> fn);
+  void call_after(Time dt, std::function<void()> fn) {
+    call_at(now_ + dt, std::move(fn));
+  }
+  void post(std::function<void()> fn) { call_at(now_, std::move(fn)); }
+
+  // --- process lifecycle ---
+  /// Spawns a process executing `body` starting at the current time.
+  /// `on_exit` (optional) runs when the body finishes or is killed.
+  ProcPtr spawn(std::string name, Co<void> body,
+                std::function<void(Proc&, ExitKind)> on_exit = {});
+
+  /// Marks the process killed and arranges for ProcessKilled to be thrown at
+  /// its next (immediate) resumption. Idempotent. Must not be called by the
+  /// process on itself.
+  void kill(Proc& proc);
+
+  /// Number of processes whose root driver has not yet exited.
+  std::size_t live_process_count() const { return live_processes_; }
+
+  // --- main loop ---
+  /// Runs events until the queue empties or `until` is passed (events at
+  /// exactly `until` are executed). Returns number of events processed.
+  std::uint64_t run(Time until = kTimeMax);
+
+  /// Runs events while `keep_going()` is true (checked before each event)
+  /// and the queue is non-empty. Used to stop at job completion without
+  /// draining long-lived daemons' future events.
+  std::uint64_t run_while(const std::function<bool()>& keep_going);
+
+  /// True if no events remain.
+  bool idle() const { return queue_.empty(); }
+
+  // --- awaitable support (used by awaitables.hpp / channel.hpp etc.) ---
+  /// Registers the currently-running process's suspension; returns the waiter
+  /// to hand to a resumption source. Works for non-process coroutines too
+  /// (proc == nullptr), which are then not killable.
+  WaiterPtr suspend_current(std::coroutine_handle<> h);
+
+  /// Claims the waiter and schedules its resumption now. Returns false if it
+  /// was already claimed (caller must not consider it woken).
+  bool fire(const WaiterPtr& w);
+
+  /// Schedules a resumption attempt at time t (claims at dequeue time).
+  void fire_at(Time t, WaiterPtr w);
+
+  /// Called at the top of every await_resume for an engine suspension:
+  /// clears the active wait and throws ProcessKilled if the process was
+  /// killed while suspended.
+  void finish_wait(const WaiterPtr& w);
+
+  /// The process currently executing, or nullptr (callbacks, top level).
+  Proc* current() const { return current_; }
+
+  /// Internal: called by the root driver when a process body exits.
+  void note_root_exit(Proc& proc, ExitKind kind);
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;  // min-heap on time
+      return a.seq > b.seq;                  // FIFO among equal times
+    }
+  };
+
+  void resume_waiter(const WaiterPtr& w);
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_pid_ = 1;
+  std::uint64_t events_processed_ = 0;
+  std::size_t live_processes_ = 0;
+  Proc* current_ = nullptr;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+};
+
+}  // namespace gcr::sim

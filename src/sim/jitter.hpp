@@ -1,0 +1,53 @@
+// OS jitter model.
+//
+// Commodity Linux 2.4 nodes exhibit scheduling noise: most interruptions are
+// milliseconds, but page-outs, kswapd and cron produce occasional
+// 100 ms – 1.5 s stragglers. Coordination steps (barrier arrival, signal
+// handling) each draw one sample; a barrier over n processes therefore costs
+// the *maximum* of n draws — which is why global coordination is spiky and
+// grows with scale while per-group coordination stays flat (paper Figs 1, 5,
+// 6). Modeled as lognormal body + uniform spike mixture.
+#pragma once
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace gcr::sim {
+
+struct JitterParams {
+  double median_s = 2e-3;       ///< lognormal median
+  double sigma = 0.8;           ///< lognormal shape
+  double spike_prob = 0.05;     ///< probability of a heavy straggler
+  double spike_min_s = 0.10;
+  double spike_max_s = 6.00;
+  bool enabled = true;
+};
+
+class JitterModel {
+ public:
+  explicit JitterModel(const JitterParams& params = {}) : params_(params) {}
+
+  const JitterParams& params() const { return params_; }
+
+  /// One coordination-step delay sample from the given process's stream.
+  Time draw(gcr::Rng& rng) const {
+    if (!params_.enabled) return 0;
+    // Consume both variates unconditionally so the stream position does not
+    // depend on the spike branch (keeps substreams comparable across runs).
+    const double spike_roll = rng.next_double();
+    const double body = rng.next_lognormal(std::log(params_.median_s),
+                                           params_.sigma);
+    if (spike_roll < params_.spike_prob) {
+      const double spike =
+          params_.spike_min_s +
+          (params_.spike_max_s - params_.spike_min_s) * rng.next_double();
+      return from_seconds(body + spike);
+    }
+    return from_seconds(body);
+  }
+
+ private:
+  JitterParams params_;
+};
+
+}  // namespace gcr::sim

@@ -1,0 +1,39 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace gcr::sim {
+
+Network::SendTimes Network::send(int src_node, int dst_node,
+                                 std::int64_t bytes,
+                                 std::function<void()> deliver) {
+  GCR_CHECK(src_node >= 0 && src_node < num_nodes());
+  GCR_CHECK(dst_node >= 0 && dst_node < num_nodes());
+  GCR_CHECK(bytes >= 0);
+  ++total_messages_;
+  total_bytes_ += bytes;
+
+  const Time now = engine_->now();
+  if (src_node == dst_node) {
+    const Time copy = from_seconds(
+        params_.loopback_latency_s +
+        static_cast<double>(bytes) / params_.loopback_Bps);
+    const Time arrival = now + copy;
+    engine_->call_at(arrival, std::move(deliver));
+    return {arrival, arrival};
+  }
+
+  const Time occupy = from_seconds(
+      params_.per_message_s + static_cast<double>(bytes) / params_.bandwidth_Bps);
+  Time& nic_free = egress_free_[static_cast<std::size_t>(src_node)];
+  const Time depart = std::max(now, nic_free);
+  const Time egress_done = depart + occupy;
+  nic_free = egress_done;
+  const Time arrival = egress_done + from_seconds(params_.latency_s);
+  engine_->call_at(arrival, std::move(deliver));
+  return {egress_done, arrival};
+}
+
+}  // namespace gcr::sim

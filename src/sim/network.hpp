@@ -1,0 +1,65 @@
+// Network model: per-node NIC egress serialization + propagation latency.
+//
+// Calibrated for the Gideon 300 cluster's switched Fast Ethernet: each node
+// owns a full-duplex 100 Mb/s port; the switch is non-blocking, so the
+// first-order contention effect is serialization at the sender's NIC. A
+// message departs when the NIC is free, occupies it for `per_message +
+// bytes/bandwidth`, and arrives `latency` after the occupation ends.
+// Same-node transfers bypass the NIC (memory copy).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace gcr::sim {
+
+struct NetParams {
+  double latency_s = 70e-6;        ///< one-way wire+switch latency
+  double bandwidth_Bps = 12.5e6;   ///< per-NIC egress bandwidth (100 Mb/s)
+  double per_message_s = 10e-6;    ///< fixed per-message wire/stack cost
+  double loopback_Bps = 400e6;     ///< same-node copy bandwidth (P4-era)
+  double loopback_latency_s = 2e-6;
+};
+
+class Network {
+ public:
+  Network(Engine& engine, int num_nodes, const NetParams& params)
+      : engine_(&engine), params_(params),
+        egress_free_(static_cast<std::size_t>(num_nodes), 0) {}
+
+  int num_nodes() const { return static_cast<int>(egress_free_.size()); }
+
+  struct SendTimes {
+    Time egress_done;  ///< when the sender's buffer is reusable
+    Time arrival;      ///< when `deliver` runs at the destination
+  };
+
+  /// Schedules an asynchronous transfer; `deliver` runs at arrival time.
+  /// The caller decides whether to block until egress_done (rendezvous data)
+  /// or continue immediately (eager small messages).
+  SendTimes send(int src_node, int dst_node, std::int64_t bytes,
+                 std::function<void()> deliver);
+
+  /// Pure timing query (no event scheduled, no NIC occupied).
+  Time transfer_duration(std::int64_t bytes) const {
+    return from_seconds(params_.per_message_s +
+                        static_cast<double>(bytes) / params_.bandwidth_Bps +
+                        params_.latency_s);
+  }
+
+  std::int64_t total_bytes() const { return total_bytes_; }
+  std::int64_t total_messages() const { return total_messages_; }
+
+ private:
+  Engine* engine_;
+  NetParams params_;
+  std::vector<Time> egress_free_;  ///< per-node NIC next-free time
+  std::int64_t total_bytes_ = 0;
+  std::int64_t total_messages_ = 0;
+};
+
+}  // namespace gcr::sim

@@ -1,0 +1,21 @@
+#include "sim/storage.hpp"
+
+#include "util/assert.hpp"
+
+namespace gcr::sim {
+
+Co<void> StorageDevice::transfer(std::int64_t bytes, bool is_write,
+                                 std::function<void()> on_transfer_start) {
+  GCR_CHECK(bytes >= 0);
+  co_await slot_.acquire();
+  ScopedPermit permit(slot_);
+  if (on_transfer_start) on_transfer_start();
+  co_await delay(*engine_, transfer_duration(bytes));
+  if (is_write) {
+    bytes_written_ += bytes;
+  } else {
+    bytes_read_ += bytes;
+  }
+}
+
+}  // namespace gcr::sim

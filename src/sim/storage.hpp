@@ -1,0 +1,71 @@
+// Storage devices: local disks and shared remote checkpoint servers.
+//
+// A device serializes requests FIFO (one transfer at a time) — the dominant
+// effect when 32 processes funnel checkpoint images into one NFS server.
+// Writers/readers are coroutines; a killed waiter releases its slot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/awaitables.hpp"
+#include "sim/co.hpp"
+#include "sim/engine.hpp"
+
+namespace gcr::sim {
+
+struct StorageParams {
+  double bandwidth_Bps = 50e6;  ///< sustained sequential bandwidth
+  double latency_s = 5e-3;      ///< per-request setup (seek / RPC)
+};
+
+class StorageDevice {
+ public:
+  StorageDevice(Engine& engine, std::string name, const StorageParams& params)
+      : engine_(&engine), name_(std::move(name)), params_(params),
+        slot_(engine, 1) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Writes `bytes`; completes when the data is durable. FIFO-serialized
+  /// with all other requests on this device.
+  Co<void> write(std::int64_t bytes) {
+    return transfer(bytes, /*is_write=*/true, nullptr);
+  }
+
+  /// Like write(), but invokes `on_transfer_start` once the device slot is
+  /// acquired (after any queueing) — for callers that model work blocked
+  /// only during the physical transfer, not the queue wait.
+  Co<void> write(std::int64_t bytes, std::function<void()> on_transfer_start) {
+    return transfer(bytes, /*is_write=*/true, std::move(on_transfer_start));
+  }
+
+  /// Reads `bytes`; completes when the data is in memory.
+  Co<void> read(std::int64_t bytes) {
+    return transfer(bytes, /*is_write=*/false, nullptr);
+  }
+
+  /// Pure duration of one unqueued transfer (for analytic estimates).
+  Time transfer_duration(std::int64_t bytes) const {
+    return from_seconds(params_.latency_s +
+                        static_cast<double>(bytes) / params_.bandwidth_Bps);
+  }
+
+  std::int64_t bytes_written() const { return bytes_written_; }
+  std::int64_t bytes_read() const { return bytes_read_; }
+  std::size_t queue_length() const { return slot_.queue_length(); }
+
+ private:
+  Co<void> transfer(std::int64_t bytes, bool is_write,
+                    std::function<void()> on_transfer_start);
+
+  Engine* engine_;
+  std::string name_;
+  StorageParams params_;
+  Semaphore slot_;
+  std::int64_t bytes_written_ = 0;
+  std::int64_t bytes_read_ = 0;
+};
+
+}  // namespace gcr::sim

@@ -1,0 +1,42 @@
+// Simulation time.
+//
+// Time is integer nanoseconds since simulation start. Integer ticks keep the
+// event order total and bit-reproducible; doubles are only used at the edges
+// (cost models, report output).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gcr::sim {
+
+using Time = std::int64_t;  // nanoseconds
+
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+inline constexpr Time operator""_ns(unsigned long long v) {
+  return static_cast<Time>(v);
+}
+inline constexpr Time operator""_us(unsigned long long v) {
+  return static_cast<Time>(v) * 1'000;
+}
+inline constexpr Time operator""_ms(unsigned long long v) {
+  return static_cast<Time>(v) * 1'000'000;
+}
+inline constexpr Time operator""_s(unsigned long long v) {
+  return static_cast<Time>(v) * 1'000'000'000;
+}
+
+/// Converts seconds (double) to ticks, rounding to nearest; negative durations
+/// clamp to zero (cost models occasionally produce tiny negatives from
+/// floating-point noise).
+inline constexpr Time from_seconds(double seconds) {
+  if (seconds <= 0.0) return 0;
+  return static_cast<Time>(seconds * 1e9 + 0.5);
+}
+
+inline constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / 1e9;
+}
+
+}  // namespace gcr::sim

@@ -1,0 +1,60 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace gcr::trace {
+
+std::vector<PairVolume> aggregate_pairs(const Trace& trace) {
+  std::map<std::pair<mpi::RankId, mpi::RankId>, PairVolume> acc;
+  for (const TraceRecord& rec : trace) {
+    if (rec.kind != EventKind::kSend) continue;
+    const mpi::RankId a = std::min(rec.rank, rec.peer);
+    const mpi::RankId b = std::max(rec.rank, rec.peer);
+    if (a == b) continue;  // self-sends are irrelevant for grouping
+    PairVolume& pv = acc[{a, b}];
+    pv.a = a;
+    pv.b = b;
+    pv.count += 1;
+    pv.bytes += rec.bytes;
+  }
+  std::vector<PairVolume> out;
+  out.reserve(acc.size());
+  for (auto& [key, pv] : acc) out.push_back(pv);
+  std::sort(out.begin(), out.end(), [](const PairVolume& x, const PairVolume& y) {
+    if (x.bytes != y.bytes) return x.bytes > y.bytes;    // size desc
+    if (x.count != y.count) return x.count > y.count;    // then count desc
+    if (x.a != y.a) return x.a < y.a;                    // then pair asc
+    return x.b < y.b;
+  });
+  return out;
+}
+
+std::vector<std::vector<std::int64_t>> comm_matrix(const Trace& trace,
+                                                   int nranks) {
+  GCR_CHECK(nranks > 0);
+  std::vector<std::vector<std::int64_t>> m(
+      static_cast<std::size_t>(nranks),
+      std::vector<std::int64_t>(static_cast<std::size_t>(nranks), 0));
+  for (const TraceRecord& rec : trace) {
+    if (rec.kind != EventKind::kSend) continue;
+    if (rec.rank < 0 || rec.rank >= nranks) continue;
+    if (rec.peer < 0 || rec.peer >= nranks) continue;
+    m[static_cast<std::size_t>(rec.rank)][static_cast<std::size_t>(rec.peer)] +=
+        rec.bytes;
+  }
+  return m;
+}
+
+std::int64_t total_send_bytes(const Trace& trace) {
+  std::int64_t total = 0;
+  for (const TraceRecord& rec : trace) {
+    if (rec.kind == EventKind::kSend) total += rec.bytes;
+  }
+  return total;
+}
+
+}  // namespace gcr::trace

@@ -1,0 +1,118 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace gcr::trace {
+namespace {
+
+bool is_activity(EventKind kind) {
+  return kind == EventKind::kSend || kind == EventKind::kDeliver;
+}
+
+}  // namespace
+
+std::string render_timeline(const Trace& trace,
+                            const std::vector<CkptWindow>& windows,
+                            const TimelineOptions& options) {
+  GCR_CHECK(options.columns > 0);
+  sim::Time end = options.end;
+  if (end == 0) {
+    for (const TraceRecord& rec : trace) end = std::max(end, rec.time);
+    for (const CkptWindow& w : windows) end = std::max(end, w.end);
+  }
+  if (end <= options.begin) return "(empty timeline)\n";
+
+  std::vector<mpi::RankId> ranks = options.ranks;
+  if (ranks.empty()) {
+    std::set<mpi::RankId> seen;
+    for (const TraceRecord& rec : trace) {
+      seen.insert(rec.rank);
+      if (seen.size() >= 4) break;
+    }
+    ranks.assign(seen.begin(), seen.end());
+  }
+  if (ranks.empty()) return "(no ranks)\n";
+
+  const double span = static_cast<double>(end - options.begin);
+  const int cols = options.columns;
+  auto bin_of = [&](sim::Time t) -> int {
+    if (t < options.begin || t >= end) return -1;
+    return static_cast<int>(static_cast<double>(t - options.begin) / span *
+                            cols);
+  };
+
+  // activity[rank][bin], ckpt[rank][bin]
+  std::map<mpi::RankId, std::vector<bool>> activity;
+  std::map<mpi::RankId, std::vector<bool>> in_ckpt;
+  for (mpi::RankId r : ranks) {
+    activity[r].assign(static_cast<std::size_t>(cols), false);
+    in_ckpt[r].assign(static_cast<std::size_t>(cols), false);
+  }
+  for (const TraceRecord& rec : trace) {
+    if (!is_activity(rec.kind)) continue;
+    auto it = activity.find(rec.rank);
+    if (it == activity.end()) continue;
+    const int bin = bin_of(rec.time);
+    if (bin >= 0 && bin < cols) it->second[static_cast<std::size_t>(bin)] = true;
+  }
+  for (const CkptWindow& w : windows) {
+    auto it = in_ckpt.find(w.rank);
+    if (it == in_ckpt.end()) continue;
+    int b0 = bin_of(std::max(w.begin, options.begin));
+    int b1 = bin_of(std::min(w.end, end - 1));
+    if (b0 < 0) b0 = 0;
+    if (b1 < 0) b1 = cols - 1;
+    for (int b = b0; b <= b1 && b < cols; ++b) {
+      it->second[static_cast<std::size_t>(b)] = true;
+    }
+  }
+
+  std::string out;
+  out += "time: " + gcr::format_duration_ns(options.begin) + " .. " +
+         gcr::format_duration_ns(end) + "  ('.'=idle '#'=msgs '-'=ckpt gap "
+         "'C'=ckpt+msgs)\n";
+  for (mpi::RankId r : ranks) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "P%-3d |", r);
+    out += label;
+    for (int b = 0; b < cols; ++b) {
+      const bool act = activity[r][static_cast<std::size_t>(b)];
+      const bool ck = in_ckpt[r][static_cast<std::size_t>(b)];
+      out += ck ? (act ? 'C' : '-') : (act ? '#' : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+double gap_fraction(const Trace& trace, const std::vector<CkptWindow>& windows,
+                    double bins_per_second) {
+  if (windows.empty()) return 0.0;
+  GCR_CHECK(bins_per_second > 0);
+  const sim::Time bin_ns = sim::from_seconds(1.0 / bins_per_second);
+  // Per-rank activity bins.
+  std::map<mpi::RankId, std::set<std::int64_t>> active_bins;
+  for (const TraceRecord& rec : trace) {
+    if (!is_activity(rec.kind)) continue;
+    active_bins[rec.rank].insert(rec.time / bin_ns);
+  }
+  std::int64_t cells = 0;
+  std::int64_t gap_cells = 0;
+  for (const CkptWindow& w : windows) {
+    const auto it = active_bins.find(w.rank);
+    for (std::int64_t b = w.begin / bin_ns; b <= (w.end - 1) / bin_ns; ++b) {
+      ++cells;
+      const bool active = it != active_bins.end() && it->second.count(b) > 0;
+      if (!active) ++gap_cells;
+    }
+  }
+  if (cells == 0) return 0.0;
+  return static_cast<double>(gap_cells) / static_cast<double>(cells);
+}
+
+}  // namespace gcr::trace

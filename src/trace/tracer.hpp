@@ -1,0 +1,57 @@
+// Light-weight MPI communication tracer (paper §3.2 / §4).
+//
+// Attaches to the MiniMPI runtime as a passive Observer — the analogue of
+// linking the tracer library into the application for a profiling run. The
+// collected send records feed Algorithm 2 (group formation); the full event
+// stream feeds the timeline renderer.
+#pragma once
+
+#include "mpi/hooks.hpp"
+#include "mpi/rank.hpp"
+#include "trace/record.hpp"
+
+namespace gcr::trace {
+
+class Tracer : public mpi::Observer {
+ public:
+  /// If `sends_only` is true, only send events are kept (cheapest mode,
+  /// sufficient for group formation).
+  explicit Tracer(bool sends_only = false) : sends_only_(sends_only) {}
+
+  void on_send(const mpi::Rank& rank, const mpi::Message& msg,
+               bool transmitted) override {
+    // Suppressed re-sends never reach the wire; profiling runs are
+    // failure-free anyway, so drop them for fidelity.
+    if (!transmitted) return;
+    records_.push_back(TraceRecord{rank_time(), EventKind::kSend, rank.id(),
+                                   msg.dst, msg.tag, msg.bytes});
+  }
+
+  void on_deliver(const mpi::Rank& rank, const mpi::Message& msg) override {
+    if (sends_only_) return;
+    records_.push_back(TraceRecord{rank_time(), EventKind::kDeliver, rank.id(),
+                                   msg.src, msg.tag, msg.bytes});
+  }
+
+  void on_consume(const mpi::Rank& rank, const mpi::Message& msg) override {
+    if (sends_only_) return;
+    records_.push_back(TraceRecord{rank_time(), EventKind::kConsume, rank.id(),
+                                   msg.src, msg.tag, msg.bytes});
+  }
+
+  /// The engine the times come from; set once before the run.
+  void attach_clock(const sim::Engine& engine) { engine_ = &engine; }
+
+  const Trace& records() const { return records_; }
+  Trace take() { return std::move(records_); }
+  void clear() { records_.clear(); }
+
+ private:
+  sim::Time rank_time() const { return engine_ ? engine_->now() : 0; }
+
+  bool sends_only_;
+  const sim::Engine* engine_ = nullptr;
+  Trace records_;
+};
+
+}  // namespace gcr::trace

@@ -1,0 +1,37 @@
+// Assertion macros used across the library.
+//
+// GCR_CHECK is always on (release included): the simulator's correctness
+// invariants (volume alignment, FIFO ordering, consistent cuts) are cheap to
+// test and catastrophic to violate silently, so they stay enabled.
+// GCR_ASSERT compiles out under NDEBUG for hot-path checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gcr {
+
+[[noreturn]] inline void assert_fail(const char* cond, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "GCR assertion failed: %s\n  at %s:%d\n  %s\n", cond,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace gcr
+
+#define GCR_CHECK(cond)                                            \
+  do {                                                             \
+    if (!(cond)) ::gcr::assert_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GCR_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) ::gcr::assert_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define GCR_ASSERT(cond) ((void)0)
+#else
+#define GCR_ASSERT(cond) GCR_CHECK(cond)
+#endif

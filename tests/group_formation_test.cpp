@@ -1,0 +1,150 @@
+// Algorithm 2 (trace-assisted group formation): merging rules, size bound,
+// and property-style sweeps over random traces.
+#include <gtest/gtest.h>
+
+#include "group/formation.hpp"
+#include "trace/analysis.hpp"
+#include "util/rng.hpp"
+
+namespace gcr::group {
+namespace {
+
+trace::TraceRecord send_rec(mpi::RankId src, mpi::RankId dst,
+                            std::int64_t bytes) {
+  return trace::TraceRecord{0, trace::EventKind::kSend, src, dst, 0, bytes};
+}
+
+TEST(Formation, DefaultMaxGroupSizeIsSqrtN) {
+  EXPECT_EQ(default_max_group_size(4), 2);
+  EXPECT_EQ(default_max_group_size(16), 4);
+  EXPECT_EQ(default_max_group_size(32), 5);  // floor(sqrt(32))
+  EXPECT_EQ(default_max_group_size(128), 11);
+  EXPECT_EQ(default_max_group_size(2), 2);  // floor is 1, clamped to 2
+}
+
+TEST(Formation, PairsFormTwoProcessGroups) {
+  trace::Trace t{send_rec(0, 1, 100), send_rec(2, 3, 100)};
+  GroupSet g = form_groups_from_trace(4, t);
+  EXPECT_EQ(g.num_groups(), 2);
+  EXPECT_TRUE(g.same_group(0, 1));
+  EXPECT_TRUE(g.same_group(2, 3));
+  EXPECT_FALSE(g.same_group(1, 2));
+}
+
+TEST(Formation, SilentRanksStaySingleton) {
+  trace::Trace t{send_rec(0, 1, 100)};
+  GroupSet g = form_groups_from_trace(5, t);
+  EXPECT_EQ(g.num_groups(), 4);  // {0,1} {2} {3} {4}
+  EXPECT_TRUE(g.same_group(0, 1));
+  EXPECT_FALSE(g.same_group(2, 3));
+}
+
+TEST(Formation, HeaviestPairsMergeFirst) {
+  // Chain 0-1-2 where (1,2) is heavier: with G=2 only (1,2) can merge.
+  trace::Trace t{send_rec(0, 1, 100), send_rec(1, 2, 900)};
+  FormationOptions opts;
+  opts.max_group_size = 2;
+  GroupSet g = form_groups_from_trace(3, t, opts);
+  EXPECT_TRUE(g.same_group(1, 2));
+  EXPECT_FALSE(g.same_group(0, 1));
+}
+
+TEST(Formation, CountBreaksSizeTies) {
+  // Same bytes; (2,3) has more messages, wins the only slot with 0.
+  trace::Trace t{send_rec(0, 1, 100), send_rec(0, 2, 50), send_rec(0, 2, 50)};
+  FormationOptions opts;
+  opts.max_group_size = 2;
+  GroupSet g = form_groups_from_trace(3, t, opts);
+  EXPECT_TRUE(g.same_group(0, 2));
+  EXPECT_FALSE(g.same_group(0, 1));
+}
+
+TEST(Formation, GroupGrowsByAttachment) {
+  // (0,1) heavy, then (1,2) attaches, then (2,3) attaches, bound 3 stops 3.
+  trace::Trace t{send_rec(0, 1, 1000), send_rec(1, 2, 500),
+                 send_rec(2, 3, 200)};
+  FormationOptions opts;
+  opts.max_group_size = 3;
+  GroupSet g = form_groups_from_trace(4, t, opts);
+  EXPECT_TRUE(g.same_group(0, 1));
+  EXPECT_TRUE(g.same_group(1, 2));
+  EXPECT_FALSE(g.same_group(2, 3));  // would exceed the bound
+  EXPECT_EQ(g.largest_group_size(), 3u);
+}
+
+TEST(Formation, TwoGroupsMergeWhenBoundAllows) {
+  trace::Trace t{send_rec(0, 1, 1000), send_rec(2, 3, 900),
+                 send_rec(1, 2, 800)};
+  FormationOptions opts;
+  opts.max_group_size = 4;
+  GroupSet g = form_groups_from_trace(4, t, opts);
+  EXPECT_EQ(g.num_groups(), 1);
+  opts.max_group_size = 3;
+  GroupSet g3 = form_groups_from_trace(4, t, opts);
+  EXPECT_EQ(g3.num_groups(), 2);  // merge of {0,1} and {2,3} refused
+}
+
+TEST(Formation, IntraGroupTrafficDoesNotGrowGroup) {
+  trace::Trace t{send_rec(0, 1, 1000), send_rec(1, 0, 900),
+                 send_rec(0, 1, 800)};
+  GroupSet g = form_groups_from_trace(2, t);
+  EXPECT_EQ(g.num_groups(), 1);
+  EXPECT_EQ(g.largest_group_size(), 2u);
+}
+
+TEST(Formation, SelfSendsIgnored) {
+  trace::Trace t{send_rec(0, 0, 1000), send_rec(0, 1, 10)};
+  GroupSet g = form_groups_from_trace(2, t);
+  EXPECT_TRUE(g.same_group(0, 1));
+}
+
+class FormationPropertyTest : public ::testing::TestWithParam<int> {};
+
+// Property sweep: for random traces, the result is always a partition and
+// never exceeds the size bound; singletons only for silent ranks.
+TEST_P(FormationPropertyTest, PartitionAndBoundInvariants) {
+  const int seed = GetParam();
+  gcr::Rng rng(static_cast<std::uint64_t>(seed));
+  const int n = 4 + static_cast<int>(rng.next_below(60));
+  const int msgs = 10 + static_cast<int>(rng.next_below(500));
+  trace::Trace t;
+  for (int i = 0; i < msgs; ++i) {
+    const auto a = static_cast<mpi::RankId>(rng.next_below(n));
+    const auto b = static_cast<mpi::RankId>(rng.next_below(n));
+    t.push_back(send_rec(a, b, 1 + static_cast<std::int64_t>(
+                                       rng.next_below(100000))));
+  }
+  for (int bound : {0, 2, 3, 5, n}) {
+    FormationOptions opts;
+    opts.max_group_size = bound;
+    const GroupSet g = form_groups_from_trace(n, t, opts);
+    // Partition: every rank in exactly one group (GroupSet ctor asserts it;
+    // verify via group_of consistency).
+    EXPECT_EQ(g.nranks(), n);
+    int covered = 0;
+    for (int gi = 0; gi < g.num_groups(); ++gi) {
+      covered += static_cast<int>(g.members(gi).size());
+      for (mpi::RankId r : g.members(gi)) EXPECT_EQ(g.group_of(r), gi);
+    }
+    EXPECT_EQ(covered, n);
+    const int eff = bound > 0 ? bound : default_max_group_size(n);
+    EXPECT_LE(g.largest_group_size(), static_cast<std::size_t>(eff));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormationPropertyTest,
+                         ::testing::Range(1, 21));
+
+TEST(Formation, DeterministicForIdenticalTrace) {
+  gcr::Rng rng(99);
+  trace::Trace t;
+  for (int i = 0; i < 300; ++i) {
+    t.push_back(send_rec(static_cast<mpi::RankId>(rng.next_below(20)),
+                         static_cast<mpi::RankId>(rng.next_below(20)),
+                         1 + static_cast<std::int64_t>(rng.next_below(5000))));
+  }
+  EXPECT_EQ(form_groups_from_trace(20, t), form_groups_from_trace(20, t));
+}
+
+}  // namespace
+}  // namespace gcr::group

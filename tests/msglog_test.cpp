@@ -1,0 +1,118 @@
+// Sender-based message log: append, GC by RR, replay ranges, flush tracking.
+#include <gtest/gtest.h>
+
+#include "core/msglog.hpp"
+
+namespace gcr::core {
+namespace {
+
+mpi::Message msg(mpi::RankId dst, std::int64_t bytes, std::int64_t cum,
+                 std::uint64_t seq) {
+  mpi::Message m;
+  m.src = 0;
+  m.dst = dst;
+  m.bytes = bytes;
+  m.cum_bytes = cum;
+  m.seq = seq;
+  return m;
+}
+
+TEST(MessageLog, AppendAccumulates) {
+  MessageLog log;
+  log.append(msg(1, 100, 100, 1));
+  log.append(msg(1, 50, 150, 2));
+  log.append(msg(2, 10, 10, 1));
+  EXPECT_EQ(log.total_bytes(), 160);
+  EXPECT_EQ(log.total_messages(), 3);
+  EXPECT_EQ(log.entries_towards(1), 2u);
+  EXPECT_EQ(log.entries_towards(2), 1u);
+  EXPECT_EQ(log.entries_towards(3), 0u);
+}
+
+TEST(MessageLog, GcDropsPrefixOnly) {
+  MessageLog log;
+  log.append(msg(1, 100, 100, 1));
+  log.append(msg(1, 100, 200, 2));
+  log.append(msg(1, 100, 300, 3));
+  EXPECT_EQ(log.gc(1, 200), 2u);  // entries with cum <= 200
+  EXPECT_EQ(log.entries_towards(1), 1u);
+  EXPECT_EQ(log.total_bytes(), 100);
+  // GC below the remaining entry drops nothing.
+  EXPECT_EQ(log.gc(1, 250), 0u);
+  EXPECT_EQ(log.gc(1, 300), 1u);
+  EXPECT_EQ(log.entries_towards(1), 0u);
+}
+
+TEST(MessageLog, GcUnknownPeerIsNoop) {
+  MessageLog log;
+  EXPECT_EQ(log.gc(9, 1000), 0u);
+}
+
+TEST(MessageLog, EntriesAfterReturnsReplaySet) {
+  MessageLog log;
+  for (int i = 1; i <= 5; ++i) {
+    log.append(msg(1, 100, 100 * i, static_cast<std::uint64_t>(i)));
+  }
+  const auto replay = log.entries_after(1, 250);
+  ASSERT_EQ(replay.size(), 3u);
+  EXPECT_EQ(replay[0].cum_bytes, 300);
+  EXPECT_EQ(replay[2].cum_bytes, 500);
+  EXPECT_TRUE(log.entries_after(1, 500).empty());
+  EXPECT_EQ(log.entries_after(1, 0).size(), 5u);
+  EXPECT_TRUE(log.entries_after(7, 0).empty());
+}
+
+TEST(MessageLog, ReplayAfterGcStillCoversUncoveredRange) {
+  // Invariant: GC is driven by the receiver's RR (volume covered by its
+  // checkpoint), so entries_after(R) with R >= RR never hits a GC'd hole.
+  MessageLog log;
+  for (int i = 1; i <= 10; ++i) {
+    log.append(msg(1, 10, 10 * i, static_cast<std::uint64_t>(i)));
+  }
+  log.gc(1, 40);  // receiver checkpointed at RR=40
+  for (std::int64_t r = 40; r <= 100; r += 10) {
+    const auto replay = log.entries_after(1, r);
+    EXPECT_EQ(replay.size(), static_cast<std::size_t>((100 - r) / 10));
+    if (!replay.empty()) {
+      EXPECT_EQ(replay.front().cum_bytes, r + 10);
+    }
+  }
+}
+
+TEST(MessageLog, FlushTracking) {
+  MessageLog log;
+  log.append(msg(1, 100, 100, 1));
+  EXPECT_EQ(log.unflushed_bytes(), 100);
+  log.mark_flushed();
+  EXPECT_EQ(log.unflushed_bytes(), 0);
+  log.append(msg(1, 30, 130, 2));
+  EXPECT_EQ(log.unflushed_bytes(), 30);
+  EXPECT_EQ(log.total_bytes(), 130);  // flush does not drop entries
+}
+
+TEST(MessageLog, CopySemanticsForSnapshot) {
+  MessageLog log;
+  log.append(msg(1, 100, 100, 1));
+  MessageLog snapshot = log;  // checkpoint copy
+  log.append(msg(1, 100, 200, 2));
+  EXPECT_EQ(snapshot.entries_towards(1), 1u);
+  EXPECT_EQ(log.entries_towards(1), 2u);
+}
+
+TEST(MessageLog, ClearResetsEverything) {
+  MessageLog log;
+  log.append(msg(1, 100, 100, 1));
+  log.clear();
+  EXPECT_EQ(log.total_bytes(), 0);
+  EXPECT_EQ(log.total_messages(), 0);
+  EXPECT_EQ(log.unflushed_bytes(), 0);
+}
+
+TEST(MessageLogDeathTest, NonMonotonicCumAborts) {
+  MessageLog log;
+  log.append(msg(1, 100, 100, 1));
+  EXPECT_DEATH(log.append(msg(1, 100, 50, 2)), "cumulative");
+}
+
+}  // namespace
+}  // namespace gcr::core

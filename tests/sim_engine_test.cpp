@@ -1,0 +1,203 @@
+// Engine fundamentals: event ordering, coroutine scheduling, process
+// lifecycle, and kill semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/awaitables.hpp"
+#include "sim/channel.hpp"
+#include "sim/co.hpp"
+#include "sim/engine.hpp"
+
+namespace gcr::sim {
+namespace {
+
+TEST(Engine, CallbacksRunInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.call_at(30_ms, [&] { order.push_back(3); });
+  eng.call_at(10_ms, [&] { order.push_back(1); });
+  eng.call_at(20_ms, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30_ms);
+}
+
+TEST(Engine, SameTimeCallbacksRunFifo) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.call_at(5_ms, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine eng;
+  int fired = 0;
+  eng.call_at(10_ms, [&] { ++fired; });
+  eng.call_at(20_ms, [&] { ++fired; });
+  eng.run(10_ms);
+  EXPECT_EQ(fired, 1);
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunWhilePredicateStops) {
+  Engine eng;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i) {
+    eng.call_at(i * 1_ms, [&] { ++fired; });
+  }
+  eng.run_while([&] { return fired < 3; });
+  EXPECT_EQ(fired, 3);
+}
+
+Co<void> delayer(Engine& eng, Time dt, int* out) {
+  co_await delay(eng, dt);
+  *out = 1;
+}
+
+TEST(Engine, SpawnedProcessRunsAndFinishes) {
+  Engine eng;
+  int done = 0;
+  bool exit_seen = false;
+  eng.spawn("p", delayer(eng, 5_ms, &done), [&](Proc&, ExitKind k) {
+    exit_seen = k == ExitKind::kFinished;
+  });
+  EXPECT_EQ(eng.live_process_count(), 1u);
+  eng.run();
+  EXPECT_EQ(done, 1);
+  EXPECT_TRUE(exit_seen);
+  EXPECT_EQ(eng.live_process_count(), 0u);
+  EXPECT_EQ(eng.now(), 5_ms);
+}
+
+Co<void> nested_inner(Engine& eng, std::vector<int>* log) {
+  log->push_back(1);
+  co_await delay(eng, 1_ms);
+  log->push_back(2);
+}
+
+Co<void> nested_outer(Engine& eng, std::vector<int>* log) {
+  log->push_back(0);
+  co_await nested_inner(eng, log);
+  log->push_back(3);
+  co_await delay(eng, 1_ms);
+  log->push_back(4);
+}
+
+TEST(Engine, NestedCoroutinesPropagate) {
+  Engine eng;
+  std::vector<int> log;
+  eng.spawn("outer", nested_outer(eng, &log));
+  eng.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(eng.now(), 2_ms);
+}
+
+struct RaiiProbe {
+  bool* flag;
+  explicit RaiiProbe(bool* f) : flag(f) {}
+  ~RaiiProbe() { *flag = true; }
+};
+
+Co<void> sleeper_with_raii(Engine& eng, bool* destroyed) {
+  RaiiProbe probe(destroyed);
+  co_await delay(eng, 1000_s);
+  ADD_FAILURE() << "should have been killed";
+}
+
+TEST(Engine, KillUnwindsRaiiAndReportsKilled) {
+  Engine eng;
+  bool destroyed = false;
+  bool killed_seen = false;
+  auto p = eng.spawn("victim", sleeper_with_raii(eng, &destroyed),
+                     [&](Proc&, ExitKind k) {
+                       killed_seen = k == ExitKind::kKilled;
+                     });
+  eng.call_at(3_ms, [&] { eng.kill(*p); });
+  eng.run(10_ms);
+  EXPECT_TRUE(destroyed);
+  EXPECT_TRUE(killed_seen);
+  EXPECT_EQ(eng.live_process_count(), 0u);
+}
+
+TEST(Engine, KillBeforeStartNeverRunsBody) {
+  Engine eng;
+  int ran = 0;
+  bool killed_seen = false;
+  auto body = [](Engine& e, int* r) -> Co<void> {
+    *r = 1;
+    co_await delay(e, 1_ms);
+  };
+  // Spawn and kill within the same callback, before the start event runs.
+  eng.call_at(1_ms, [&] {
+    auto p = eng.spawn("never", body(eng, &ran), [&](Proc&, ExitKind k) {
+      killed_seen = k == ExitKind::kKilled;
+    });
+    eng.kill(*p);
+  });
+  eng.run();
+  EXPECT_EQ(ran, 0);
+  EXPECT_TRUE(killed_seen);
+}
+
+TEST(Engine, KillIsIdempotent) {
+  Engine eng;
+  bool destroyed = false;
+  int exits = 0;
+  auto p = eng.spawn("victim", sleeper_with_raii(eng, &destroyed),
+                     [&](Proc&, ExitKind) { ++exits; });
+  eng.call_at(1_ms, [&] {
+    eng.kill(*p);
+    eng.kill(*p);
+  });
+  eng.call_at(2_ms, [&] { eng.kill(*p); });
+  eng.run(10_ms);
+  EXPECT_TRUE(destroyed);
+  EXPECT_EQ(exits, 1);
+}
+
+Co<void> chan_consumer(Engine& eng, Channel<int>& ch, std::vector<int>* got,
+                       int count) {
+  (void)eng;
+  for (int i = 0; i < count; ++i) {
+    got->push_back(co_await ch.pop());
+  }
+}
+
+TEST(Engine, KilledChannelWaiterDoesNotConsume) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<int> got_a;
+  std::vector<int> got_b;
+  auto a = eng.spawn("a", chan_consumer(eng, ch, &got_a, 1));
+  eng.call_at(1_ms, [&] { eng.kill(*a); });
+  eng.call_at(2_ms, [&] {
+    eng.spawn("b", chan_consumer(eng, ch, &got_b, 1));
+  });
+  eng.call_at(3_ms, [&] { ch.push(42); });
+  eng.run();
+  EXPECT_TRUE(got_a.empty());
+  EXPECT_EQ(got_b, (std::vector<int>{42}));
+}
+
+TEST(Engine, DeterministicEventCounts) {
+  auto run_once = [] {
+    Engine eng;
+    Channel<int> ch(eng);
+    std::vector<int> got;
+    eng.spawn("c", chan_consumer(eng, ch, &got, 3));
+    for (int i = 0; i < 3; ++i) {
+      eng.call_at((i + 1) * 1_ms, [&ch, i] { ch.push(i); });
+    }
+    eng.run();
+    return eng.events_processed();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace gcr::sim

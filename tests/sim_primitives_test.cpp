@@ -1,0 +1,186 @@
+// Awaitable primitives: Trigger, Semaphore, CountBarrier, Channel edge cases.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/awaitables.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+
+namespace gcr::sim {
+namespace {
+
+Co<void> wait_trigger(Trigger& t, int* out) {
+  co_await t.wait();
+  *out += 1;
+}
+
+TEST(Trigger, BroadcastsToAllWaiters) {
+  Engine eng;
+  Trigger t(eng);
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) eng.spawn("w", wait_trigger(t, &woken));
+  eng.call_at(1_ms, [&] { t.fire(); });
+  eng.run();
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(Trigger, AlreadyFiredReturnsImmediately) {
+  Engine eng;
+  Trigger t(eng);
+  t.fire();
+  int woken = 0;
+  eng.spawn("w", wait_trigger(t, &woken));
+  eng.run();
+  EXPECT_EQ(woken, 1);
+}
+
+TEST(Trigger, ResetReArms) {
+  Engine eng;
+  Trigger t(eng);
+  t.fire();
+  t.reset();
+  int woken = 0;
+  eng.spawn("w", wait_trigger(t, &woken));
+  eng.run();
+  EXPECT_EQ(woken, 0);  // still suspended
+  t.fire();
+  eng.run();
+  EXPECT_EQ(woken, 1);
+}
+
+Co<void> hold_resource(Engine& eng, Semaphore& sem, Time hold,
+                       std::vector<int>* order, int id) {
+  co_await sem.acquire();
+  ScopedPermit permit(sem);
+  order->push_back(id);
+  co_await delay(eng, hold);
+}
+
+TEST(Semaphore, SerializesFifo) {
+  Engine eng;
+  Semaphore sem(eng, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    eng.spawn("h", hold_resource(eng, sem, 10_ms, &order, i));
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(eng.now(), 40_ms);  // fully serialized
+  EXPECT_EQ(sem.available(), 1);
+}
+
+TEST(Semaphore, MultiplePermitsOverlap) {
+  Engine eng;
+  Semaphore sem(eng, 2);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    eng.spawn("h", hold_resource(eng, sem, 10_ms, &order, i));
+  }
+  eng.run();
+  EXPECT_EQ(eng.now(), 20_ms);  // two at a time
+  EXPECT_EQ(sem.available(), 2);
+}
+
+TEST(Semaphore, KilledHolderReleasesPermit) {
+  Engine eng;
+  Semaphore sem(eng, 1);
+  std::vector<int> order;
+  auto victim = eng.spawn("v", hold_resource(eng, sem, 1000_s, &order, 0));
+  eng.spawn("h", hold_resource(eng, sem, 10_ms, &order, 1));
+  eng.call_at(5_ms, [&] { eng.kill(*victim); });
+  eng.run(1_s);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));  // 1 ran after the kill
+  EXPECT_EQ(sem.available(), 1);
+}
+
+TEST(Semaphore, KilledQueuedWaiterSkipped) {
+  Engine eng;
+  Semaphore sem(eng, 1);
+  std::vector<int> order;
+  eng.spawn("a", hold_resource(eng, sem, 10_ms, &order, 0));
+  auto queued = eng.spawn("q", hold_resource(eng, sem, 10_ms, &order, 1));
+  eng.spawn("b", hold_resource(eng, sem, 10_ms, &order, 2));
+  eng.call_at(1_ms, [&] { eng.kill(*queued); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_EQ(sem.available(), 1);
+}
+
+Co<void> barrier_party(Engine& eng, CountBarrier& bar, Time arrive_at,
+                       std::vector<Time>* done) {
+  co_await delay(eng, arrive_at);
+  co_await bar.arrive_and_wait();
+  done->push_back(eng.now());
+}
+
+TEST(CountBarrier, ReleasesTogetherAtLastArrival) {
+  Engine eng;
+  CountBarrier bar(eng, 3);
+  std::vector<Time> done;
+  eng.spawn("a", barrier_party(eng, bar, 1_ms, &done));
+  eng.spawn("b", barrier_party(eng, bar, 5_ms, &done));
+  eng.spawn("c", barrier_party(eng, bar, 9_ms, &done));
+  eng.run();
+  ASSERT_EQ(done.size(), 3u);
+  for (Time t : done) EXPECT_EQ(t, 9_ms);
+}
+
+TEST(CountBarrier, ReusableAcrossGenerations) {
+  Engine eng;
+  CountBarrier bar(eng, 2);
+  std::vector<Time> done;
+  auto party = [](Engine& e, CountBarrier& b, std::vector<Time>* d,
+                  Time stagger) -> Co<void> {
+    for (int round = 0; round < 3; ++round) {
+      co_await delay(e, stagger);
+      co_await b.arrive_and_wait();
+      d->push_back(e.now());
+    }
+  };
+  eng.spawn("a", party(eng, bar, &done, 1_ms));
+  eng.spawn("b", party(eng, bar, &done, 2_ms));
+  eng.run();
+  EXPECT_EQ(done.size(), 6u);  // three rounds, both released each time
+}
+
+Co<void> pop_n(Channel<int>& ch, int n, std::vector<int>* out) {
+  for (int i = 0; i < n; ++i) out->push_back(co_await ch.pop());
+}
+
+TEST(Channel, BufferedValuesFifo) {
+  Engine eng;
+  Channel<int> ch(eng);
+  for (int i = 0; i < 5; ++i) ch.push(i);
+  std::vector<int> out;
+  eng.spawn("c", pop_n(ch, 5, &out));
+  eng.run();
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, WaitersServedFifo) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<int> a, b;
+  eng.spawn("a", pop_n(ch, 1, &a));
+  eng.spawn("b", pop_n(ch, 1, &b));
+  eng.call_at(1_ms, [&] {
+    ch.push(10);
+    ch.push(20);
+  });
+  eng.run();
+  EXPECT_EQ(a, (std::vector<int>{10}));
+  EXPECT_EQ(b, (std::vector<int>{20}));
+}
+
+TEST(Channel, ClearDropsBuffered) {
+  Engine eng;
+  Channel<int> ch(eng);
+  ch.push(1);
+  ch.push(2);
+  ch.clear();
+  EXPECT_TRUE(ch.empty());
+}
+
+}  // namespace
+}  // namespace gcr::sim
