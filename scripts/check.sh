@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build, and run the full test suite.
+# Mirrors ROADMAP.md's verify line exactly; CI runs the same steps.
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

@@ -2,7 +2,8 @@
 // arbitrary rank subsets (process rows/columns of a grid), built on the
 // runtime's p2p so every hop passes through the protocol hooks.
 //
-// Application contract (required by the checkpoint protocols):
+// Application contract (required by the checkpoint protocols; the safe-point
+// trigger these feed is DESIGN.md §5):
 //  * call `co_await h.safepoint(k)` at the TOP of iteration k, before any
 //    communication of that iteration, and once more after the last
 //    iteration;

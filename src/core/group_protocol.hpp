@@ -1,4 +1,5 @@
-// Group-based checkpoint/restart protocol — the paper's Algorithm 1.
+// Group-based checkpoint/restart protocol — the paper's Algorithm 1
+// (DESIGN.md §4).
 //
 // Checkpoints are coordinated *within* each group; across groups there is no
 // coordination, only sender-based logging of inter-group messages with

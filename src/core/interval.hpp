@@ -1,4 +1,4 @@
-// Checkpoint-interval planning (paper §6/§7).
+// Checkpoint-interval planning (paper §6/§7; DESIGN.md §9).
 //
 // The paper's flexibility claim: "it is possible, for example, to group
 // processor nodes that fail more frequently, and select a shorter checkpoint

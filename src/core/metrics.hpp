@@ -1,5 +1,5 @@
 // Metrics collected by the checkpoint protocols — everything the paper's
-// figures report.
+// figures report (DESIGN.md §9; see docs/BENCHMARKS.md for the figure map).
 //
 // Checkpoint time is measured per process "from the receipt of the
 // checkpoint signal until the process resumes normal execution" (paper §5.1)

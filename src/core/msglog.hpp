@@ -1,4 +1,4 @@
-// Sender-based message log (Algorithm 1).
+// Sender-based message log (Algorithm 1; DESIGN.md §4).
 //
 // Each rank keeps, per out-of-group destination, the ordered list of
 // app-plane messages it sent. Entries are garbage-collected when the

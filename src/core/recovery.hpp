@@ -1,4 +1,4 @@
-// Failure injection and restart orchestration.
+// Failure injection and restart orchestration (DESIGN.md §9).
 //
 // Failures take down whole groups (the paper's recovery unit): the group's
 // processes are killed, in-flight traffic to/from them is lost, and after a

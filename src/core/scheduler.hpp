@@ -1,4 +1,5 @@
-// Checkpoint scheduler — the mpirun side of the workflow (paper Figure 4):
+// Checkpoint scheduler — the mpirun side of the workflow (paper Figure 4;
+// DESIGN.md §9):
 // receives checkpoint requests "from the system or the user" and propagates
 // them. Here it issues rounds at a fixed first time and optional interval,
 // stopping once the job has finished.

@@ -1,4 +1,5 @@
-// MPICH-VCL-style non-blocking coordinated checkpointing (paper §2.2, §5.3).
+// MPICH-VCL-style non-blocking coordinated checkpointing (paper §2.2, §5.3;
+// DESIGN.md §8).
 //
 // Chandy–Lamport with remote checkpoint servers: on a checkpoint request
 // each process immediately (no safe point, no group coordination)

@@ -77,7 +77,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
   } else {
     GCR_CHECK_MSG(config.failures.empty() && !config.restart_after_finish,
-                  "VCL restart/failures are not supported (see DESIGN.md)");
+                  "VCL restart/failures are not supported (see DESIGN.md §8)");
     vcl_protocol = std::make_unique<core::VclProtocol>(
         runtime, checkpointer, spec.image_bytes, metrics);
     runtime.set_protocol(vcl_protocol.get());

@@ -1,8 +1,8 @@
 // Gopalan–Nagarajan dynamic dependent process groups (related work, paper
-// §6): processes/groups are merged whenever one sends a message to the
-// other, with NO size bound. The paper's criticism — "all processes may
-// eventually form a single group when there is a sequence of messages
-// linking up all the processes" — is demonstrated by the
+// §6; DESIGN.md §7): processes/groups are merged whenever one sends a
+// message to the other, with NO size bound. The paper's criticism — "all
+// processes may eventually form a single group when there is a sequence of
+// messages linking up all the processes" — is demonstrated by the
 // ablation_dynamic_grouping bench using this implementation.
 #pragma once
 

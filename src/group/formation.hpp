@@ -1,4 +1,4 @@
-// Algorithm 2: trace-assisted group formation.
+// Algorithm 2: trace-assisted group formation (DESIGN.md §7).
 //
 // Input: aggregated pair volumes (trace/analysis.hpp), sorted descending by
 // size then count. Each pair is merged into the output group list under a

@@ -1,4 +1,4 @@
-// Group definition files.
+// Group definition files (DESIGN.md §7).
 //
 // The workflow in the paper (Figure 4): a profiling run produces a trace,
 // the analyzer produces a *group definition file*, and subsequent production

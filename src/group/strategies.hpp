@@ -1,4 +1,5 @@
-// Canned grouping strategies used throughout the paper's evaluation:
+// Canned grouping strategies used throughout the paper's evaluation
+// (DESIGN.md §7; mode glossary in README.md):
 //   NORM  — one global group (original LAM/MPI coordinated checkpoint)
 //   GP1   — one process per group (uncoordinated + full message logging)
 //   GPk   — k groups of sequential ranks (the "ad-hoc" GP4 baseline)

@@ -1,6 +1,7 @@
 // Interposition interfaces — the analogue of LAM/MPI's CRTCP/CRMPI SSI
-// modules. A checkpoint protocol installs ONE Interposer; passive Observers
-// (the communication tracer, test probes) may be attached in any number.
+// modules (DESIGN.md §3). A checkpoint protocol installs ONE Interposer;
+// passive Observers (the communication tracer, test probes) may be attached
+// in any number.
 #pragma once
 
 #include "mpi/message.hpp"

@@ -9,7 +9,7 @@
 // the process and claims its currently-armed waiter for immediate resumption;
 // the awaitable's await_resume sees the flag and throws ProcessKilled, which
 // unwinds the coroutine chain (RAII deregisters everything) up to the root
-// driver, which reports the exit. See DESIGN.md §5.1.
+// driver, which reports the exit. See DESIGN.md §2.1.
 #pragma once
 
 #include <coroutine>

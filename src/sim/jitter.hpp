@@ -1,4 +1,4 @@
-// OS jitter model.
+// OS jitter model (DESIGN.md §2.2).
 //
 // Commodity Linux 2.4 nodes exhibit scheduling noise: most interruptions are
 // milliseconds, but page-outs, kswapd and cron produce occasional
