@@ -7,8 +7,6 @@
 // total time-to-completion for GP vs NORM. Frequent NORM checkpoints cost
 // global coordination; frequent GP checkpoints are cheap, so GP tolerates a
 // short interval (small work loss) without slowing down.
-#include <map>
-
 #include "apps/hpl.hpp"
 #include "bench_common.hpp"
 
@@ -21,45 +19,57 @@ int main(int argc, char** argv) {
   const auto intervals =
       cli.get_int_list("intervals", {15, 30, 60, 120}, "ckpt periods (s)");
   const double fail_at = cli.get_double("fail-at", 130.0, "failure time (s)");
-  const int reps = static_cast<int>(cli.get_int("reps", 3, "repetitions"));
+  const int reps = cli.get_reps(3);
   const bool csv = cli.get_bool("csv", false, "emit CSV");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   apps::HplParams hpl;
   exp::AppFactory app = [hpl](int nr) { return apps::make_hpl(nr, hpl); };
-  const group::GroupSet gp_groups =
-      bench::groups_for(Mode::kGp, n, app, hpl.grid_rows);
+  auto cache = std::make_shared<bench::GroupCache>(app, hpl.grid_rows);
+  const std::vector<Mode> modes{Mode::kGp, Mode::kNorm};
+
+  exp::Scenario sc;
+  sc.name = "hpl/failure-intervals";
+  sc.axes = {exp::SweepAxis::ints("interval", intervals),
+             bench::mode_axis(modes)};
+  sc.reps = reps;
+  sc.config = [n, app, cache, fail_at](const exp::SweepPoint& point) {
+    exp::ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.nranks = n;
+    cfg.seed = point.seed;
+    cfg.groups = cache->get(bench::mode_at(point), n);
+    cfg.checkpoints = true;
+    cfg.schedule.first_at_s = point.get("interval");
+    cfg.schedule.interval_s = point.get("interval");
+    cfg.schedule.round_spread_s = 0.4;
+    cfg.failures = {{0, fail_at}};
+    return cfg;
+  };
+  sc.collect = [](const exp::SweepPoint&, const exp::ExperimentResult& res,
+                  exp::Collector& col) {
+    col.add("exec", res.exec_time_s);
+    col.add("ckpts", res.checkpoints_completed);
+  };
+  const exp::CampaignResult camp = exp::run_campaign(sc, {jobs});
+  auto stat = [&](std::size_t ii, Mode m, const char* metric) {
+    return bench::cell_mean(
+        camp.stat(sc.cell_index({ii, bench::mode_index(modes, m)}), metric),
+        1);
+  };
 
   Table t({"interval_s", "GP_exec_s", "GP_ckpts", "NORM_exec_s",
            "NORM_ckpts"});
-  for (std::int64_t interval : intervals) {
-    std::map<Mode, RunningStats> exec, counts;
-    for (Mode mode : {Mode::kGp, Mode::kNorm}) {
-      for (int rep = 1; rep <= reps; ++rep) {
-        exp::ExperimentConfig cfg;
-        cfg.app = app;
-        cfg.nranks = n;
-        cfg.seed = static_cast<std::uint64_t>(rep);
-        cfg.groups = mode == Mode::kGp ? gp_groups : group::make_norm(n);
-        cfg.checkpoints = true;
-        cfg.schedule.first_at_s = static_cast<double>(interval);
-        cfg.schedule.interval_s = static_cast<double>(interval);
-        cfg.schedule.round_spread_s = 0.4;
-        cfg.failures = {{0, fail_at}};
-        exp::ExperimentResult res = exp::run_experiment(cfg);
-        exec[mode].add(res.exec_time_s);
-        counts[mode].add(res.checkpoints_completed);
-      }
-    }
-    t.add_row({Table::num(interval), Table::num(exec[Mode::kGp].mean(), 1),
-               Table::num(counts[Mode::kGp].mean(), 1),
-               Table::num(exec[Mode::kNorm].mean(), 1),
-               Table::num(counts[Mode::kNorm].mean(), 1)});
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    t.add_row({Table::num(intervals[i]), stat(i, Mode::kGp, "exec"),
+               stat(i, Mode::kGp, "ckpts"), stat(i, Mode::kNorm, "exec"),
+               stat(i, Mode::kNorm, "ckpts")});
   }
   bench::emit(
       "Ablation A3 - time-to-completion with one mid-run group failure vs "
       "checkpoint interval (HPL). Expect: GP benefits from short intervals "
       "(cheap checkpoints, less lost work); NORM pays for them",
-      t, csv);
+      t, csv, camp.unfinished_runs);
   return 0;
 }

@@ -23,8 +23,9 @@ int main(int argc, char** argv) {
       cli.get_double("flaky-mtbf", 90.0, "MTBF of group 0 (s)");
   const double solid_mtbf =
       cli.get_double("solid-mtbf", 3600.0, "MTBF of the other groups (s)");
-  const int reps = static_cast<int>(cli.get_int("reps", 3, "repetitions"));
+  const int reps = cli.get_reps(3);
   const bool csv = cli.get_bool("csv", false, "emit CSV");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   apps::HplParams hpl;
@@ -69,31 +70,43 @@ int main(int argc, char** argv) {
                                            plan.interval_s.back())});
   schedules.push_back({"planned", plan.interval_s});
 
+  exp::Scenario sc;
+  sc.name = "hpl/planned-intervals";
+  sc.axes = {exp::SweepAxis::indices("schedule", schedules.size())};
+  sc.reps = reps;
+  sc.config = [n, app, &groups, &schedules, &mtbf](
+                  const exp::SweepPoint& point) {
+    exp::ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.nranks = n;
+    cfg.seed = point.seed;
+    cfg.groups = groups;
+    cfg.per_group_intervals =
+        schedules[static_cast<std::size_t>(point.get_int("schedule"))]
+            .intervals;
+    cfg.random_failure_mtbf_s = mtbf;
+    return cfg;
+  };
+  sc.collect = [](const exp::SweepPoint&, const exp::ExperimentResult& res,
+                  exp::Collector& col) {
+    col.add("exec", res.exec_time_s);
+    col.add("records", static_cast<double>(res.metrics.ckpts.size()));
+    col.add("fails", res.failures_injected);
+    col.add("agg", res.metrics.aggregate_ckpt_time_s());
+  };
+  const exp::CampaignResult camp = exp::run_campaign(sc, {jobs});
+
   Table t({"schedule", "exec_s", "ckpt_records", "failures", "agg_ckpt_s"});
-  for (const Schedule& sched : schedules) {
-    RunningStats exec, records, fails, agg;
-    for (int rep = 1; rep <= reps; ++rep) {
-      exp::ExperimentConfig cfg;
-      cfg.app = app;
-      cfg.nranks = n;
-      cfg.seed = static_cast<std::uint64_t>(rep);
-      cfg.groups = groups;
-      cfg.per_group_intervals = sched.intervals;
-      cfg.random_failure_mtbf_s = mtbf;
-      exp::ExperimentResult res = exp::run_experiment(cfg);
-      exec.add(res.exec_time_s);
-      records.add(static_cast<double>(res.metrics.ckpts.size()));
-      fails.add(res.failures_injected);
-      agg.add(res.metrics.aggregate_ckpt_time_s());
-    }
-    t.add_row({sched.name, Table::num(exec.mean(), 1),
-               Table::num(records.mean(), 0), Table::num(fails.mean(), 1),
-               Table::num(agg.mean(), 1)});
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    t.add_row({schedules[i].name, bench::cell_mean(camp.stat(i, "exec"), 1),
+               bench::cell_mean(camp.stat(i, "records"), 0),
+               bench::cell_mean(camp.stat(i, "fails"), 1),
+               bench::cell_mean(camp.stat(i, "agg"), 1)});
   }
   bench::emit(
       "Ablation A4 - per-group planned intervals under a flaky group. "
       "Expect: planned ~ matches the best uniform schedule or beats both "
       "(short protection where failures are, low overhead elsewhere)",
-      t, csv);
+      t, csv, camp.unfinished_runs);
   return 0;
 }

@@ -14,32 +14,40 @@ int main(int argc, char** argv) {
   const auto procs = cli.get_int_list(
       "procs", {12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64, 68},
       "process counts");
-  const int reps = static_cast<int>(cli.get_int("reps", 5, "repetitions"));
+  const int reps = cli.get_reps(5);
   const bool csv = cli.get_bool("csv", false, "emit CSV");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
+  exp::Scenario sc;
+  sc.name = "hpl/lam-coordination";
+  sc.axes = {exp::SweepAxis::ints("procs", procs)};
+  sc.reps = reps;
+  sc.config = [](const exp::SweepPoint& point) {
+    exp::ExperimentConfig cfg;
+    cfg.app = [](int nr) { return apps::make_hpl(nr); };
+    cfg.nranks = static_cast<int>(point.get_int("procs"));
+    cfg.seed = point.seed;
+    cfg.groups = group::make_norm(cfg.nranks);  // LAM/MPI: one global group
+    cfg.checkpoints = true;
+    cfg.schedule.first_at_s = 60.0;
+    return cfg;
+  };
+  sc.collect = [](const exp::SweepPoint&, const exp::ExperimentResult& res,
+                  exp::Collector& col) {
+    col.add("coord", res.metrics.aggregate_coordination_time_s());
+  };
+  const exp::CampaignResult camp = exp::run_campaign(sc, {jobs});
+
   Table table({"procs", "aggregate_coordination_s(mean)", "min", "max"});
-  for (std::int64_t n64 : procs) {
-    const int n = static_cast<int>(n64);
-    exp::AppFactory app = [](int nr) { return apps::make_hpl(nr); };
-    RunningStats agg = bench::over_seeds(reps, [&](std::uint64_t seed) {
-      exp::ExperimentConfig cfg;
-      cfg.app = app;
-      cfg.nranks = n;
-      cfg.seed = seed;
-      cfg.groups = group::make_norm(n);  // LAM/MPI: one global group
-      cfg.checkpoints = true;
-      cfg.schedule.first_at_s = 60.0;
-      exp::ExperimentResult res = exp::run_experiment(cfg);
-      return res.metrics.aggregate_coordination_time_s();
-    });
-    table.add_row({Table::num(static_cast<std::int64_t>(n)),
-                   Table::num(agg.mean(), 1), Table::num(agg.min(), 1),
-                   Table::num(agg.max(), 1)});
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const RunningStats& agg = camp.stat(i, "coord");
+    table.add_row({Table::num(procs[i]), bench::cell_mean(agg, 1),
+                   bench::cell_min(agg, 1), bench::cell_max(agg, 1)});
   }
   bench::emit(
       "Figure 1 - aggregate coordination time of one global checkpoint "
       "(HPL, NORM). Expect: growth with n, spiky (OS stragglers)",
-      table, csv);
+      table, csv, camp.unfinished_runs);
   return 0;
 }

@@ -4,8 +4,6 @@
 // Paper shapes: (6a) GP ~ GP1, flat with scale; GP4 above them; NORM high,
 // rising, spiky. (6b) NORM lowest (no resends), GP slightly above, GP1
 // highest and most variable (resends to everyone).
-#include <map>
-
 #include "hpl_modes.hpp"
 
 using namespace gcr;
@@ -15,26 +13,32 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   bench::HplSweepOptions opt;
   opt.procs = cli.get_int_list("procs", opt.procs, "process counts");
-  opt.reps = static_cast<int>(cli.get_int("reps", 5, "repetitions"));
+  opt.reps = cli.get_reps(5);
   const bool csv = cli.get_bool("csv", false, "emit CSV");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
-  std::map<std::pair<int, Mode>, RunningStats> ckpt, restart;
-  bench::sweep_hpl(opt, [&](int n, Mode m, const exp::ExperimentResult& res) {
-    ckpt[{n, m}].add(res.metrics.aggregate_ckpt_time_s());
-    restart[{n, m}].add(res.restart_aggregate_s);
-  });
+  const exp::Scenario sc = bench::hpl_scenario(
+      "hpl/ckpt-restart", opt,
+      [](int, Mode, const exp::ExperimentResult& res, exp::Collector& col) {
+        col.add("ckpt", res.metrics.aggregate_ckpt_time_s());
+        col.add("restart", res.restart_aggregate_s);
+      });
+  const exp::CampaignResult camp = exp::run_campaign(sc, {jobs});
+  auto stat = [&](std::size_t ni, Mode m, const char* metric) {
+    return camp.stat(sc.cell_index({ni, bench::mode_index(opt.modes, m)}),
+                     metric);
+  };
 
-  auto table_for = [&](std::map<std::pair<int, Mode>, RunningStats>& data) {
+  auto table_for = [&](const char* metric) {
     Table t({"procs", "GP_s", "GP1_s", "GP4_s", "NORM_s", "NORM_max_s"});
-    for (std::int64_t n64 : opt.procs) {
-      const int n = static_cast<int>(n64);
-      t.add_row({Table::num(static_cast<std::int64_t>(n)),
-                 Table::num(data[{n, Mode::kGp}].mean(), 1),
-                 Table::num(data[{n, Mode::kGp1}].mean(), 1),
-                 Table::num(data[{n, Mode::kGp4}].mean(), 1),
-                 Table::num(data[{n, Mode::kNorm}].mean(), 1),
-                 Table::num(data[{n, Mode::kNorm}].max(), 1)});
+    for (std::size_t i = 0; i < opt.procs.size(); ++i) {
+      t.add_row({Table::num(opt.procs[i]),
+                 bench::cell_mean(stat(i, Mode::kGp, metric), 1),
+                 bench::cell_mean(stat(i, Mode::kGp1, metric), 1),
+                 bench::cell_mean(stat(i, Mode::kGp4, metric), 1),
+                 bench::cell_mean(stat(i, Mode::kNorm, metric), 1),
+                 bench::cell_max(stat(i, Mode::kNorm, metric), 1)});
     }
     return t;
   };
@@ -42,10 +46,10 @@ int main(int argc, char** argv) {
   bench::emit(
       "Figure 6a - summed checkpoint time (HPL). Expect: GP ~ GP1 flat; "
       "NORM rising and spiky",
-      table_for(ckpt), csv);
+      table_for("ckpt"), csv, camp.unfinished_runs);
   bench::emit(
       "Figure 6b - summed restart time (HPL). Expect: NORM lowest, GP "
       "slightly above, GP1 highest/variable",
-      table_for(restart), csv);
+      table_for("restart"), csv, camp.unfinished_runs);
   return 0;
 }

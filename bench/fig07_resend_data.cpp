@@ -3,8 +3,6 @@
 //
 // Paper shape: GP low and stable; GP1 largest and most variable; GP4 in
 // between, scaling steadily.
-#include <map>
-
 #include "hpl_modes.hpp"
 
 using namespace gcr;
@@ -14,27 +12,34 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   bench::HplSweepOptions opt;
   opt.procs = cli.get_int_list("procs", opt.procs, "process counts");
-  opt.reps = static_cast<int>(cli.get_int("reps", 5, "repetitions"));
+  opt.reps = cli.get_reps(5);
   const bool csv = cli.get_bool("csv", false, "emit CSV");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
-  std::map<std::pair<int, Mode>, RunningStats> resend;
-  bench::sweep_hpl(opt, [&](int n, Mode m, const exp::ExperimentResult& res) {
-    resend[{n, m}].add(static_cast<double>(res.metrics.resend_bytes) / 1024.0);
-  });
+  const exp::Scenario sc = bench::hpl_scenario(
+      "hpl/resend-data", opt,
+      [](int, Mode, const exp::ExperimentResult& res, exp::Collector& col) {
+        col.add("resend_kb",
+                static_cast<double>(res.metrics.resend_bytes) / 1024.0);
+      });
+  const exp::CampaignResult camp = exp::run_campaign(sc, {jobs});
+  auto resend = [&](std::size_t ni, Mode m) {
+    return camp.stat(sc.cell_index({ni, bench::mode_index(opt.modes, m)}),
+                     "resend_kb");
+  };
 
   Table t({"procs", "GP_KB", "GP1_KB", "GP4_KB", "GP1_max_KB"});
-  for (std::int64_t n64 : opt.procs) {
-    const int n = static_cast<int>(n64);
-    t.add_row({Table::num(static_cast<std::int64_t>(n)),
-               Table::num(resend[{n, Mode::kGp}].mean(), 0),
-               Table::num(resend[{n, Mode::kGp1}].mean(), 0),
-               Table::num(resend[{n, Mode::kGp4}].mean(), 0),
-               Table::num(resend[{n, Mode::kGp1}].max(), 0)});
+  for (std::size_t i = 0; i < opt.procs.size(); ++i) {
+    t.add_row({Table::num(opt.procs[i]),
+               bench::cell_mean(resend(i, Mode::kGp), 0),
+               bench::cell_mean(resend(i, Mode::kGp1), 0),
+               bench::cell_mean(resend(i, Mode::kGp4), 0),
+               bench::cell_max(resend(i, Mode::kGp1), 0)});
   }
   bench::emit(
       "Figure 7 - data resent on restart (HPL). Expect: GP lowest/stable, "
       "GP1 largest/variable (NORM = 0 by construction)",
-      t, csv);
+      t, csv, camp.unfinished_runs);
   return 0;
 }

@@ -3,8 +3,6 @@
 //
 // Paper shape: GP1 most and most variable; GP and GP4 scale steadily and
 // stay low.
-#include <map>
-
 #include "hpl_modes.hpp"
 
 using namespace gcr;
@@ -14,32 +12,36 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   bench::HplSweepOptions opt;
   opt.procs = cli.get_int_list("procs", opt.procs, "process counts");
-  opt.reps = static_cast<int>(cli.get_int("reps", 5, "repetitions"));
+  opt.reps = cli.get_reps(5);
   const bool csv = cli.get_bool("csv", false, "emit CSV");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
-  std::map<std::pair<int, Mode>, RunningStats> ops;
-  std::map<std::pair<int, Mode>, RunningStats> msgs;
-  bench::sweep_hpl(opt, [&](int n, Mode m, const exp::ExperimentResult& res) {
-    ops[{n, m}].add(static_cast<double>(res.metrics.resend_ops));
-    msgs[{n, m}].add(static_cast<double>(res.metrics.resend_messages));
-  });
+  const exp::Scenario sc = bench::hpl_scenario(
+      "hpl/resend-ops", opt,
+      [](int, Mode, const exp::ExperimentResult& res, exp::Collector& col) {
+        col.add("ops", static_cast<double>(res.metrics.resend_ops));
+        col.add("msgs", static_cast<double>(res.metrics.resend_messages));
+      });
+  const exp::CampaignResult camp = exp::run_campaign(sc, {jobs});
+  auto stat = [&](std::size_t ni, Mode m, const char* metric) {
+    return bench::cell_mean(
+        camp.stat(sc.cell_index({ni, bench::mode_index(opt.modes, m)}),
+                  metric),
+        1);
+  };
 
   Table t({"procs", "GP_ops", "GP1_ops", "GP4_ops", "GP_msgs", "GP1_msgs",
            "GP4_msgs"});
-  for (std::int64_t n64 : opt.procs) {
-    const int n = static_cast<int>(n64);
-    t.add_row({Table::num(static_cast<std::int64_t>(n)),
-               Table::num(ops[{n, Mode::kGp}].mean(), 1),
-               Table::num(ops[{n, Mode::kGp1}].mean(), 1),
-               Table::num(ops[{n, Mode::kGp4}].mean(), 1),
-               Table::num(msgs[{n, Mode::kGp}].mean(), 1),
-               Table::num(msgs[{n, Mode::kGp1}].mean(), 1),
-               Table::num(msgs[{n, Mode::kGp4}].mean(), 1)});
+  for (std::size_t i = 0; i < opt.procs.size(); ++i) {
+    t.add_row({Table::num(opt.procs[i]), stat(i, Mode::kGp, "ops"),
+               stat(i, Mode::kGp1, "ops"), stat(i, Mode::kGp4, "ops"),
+               stat(i, Mode::kGp, "msgs"), stat(i, Mode::kGp1, "msgs"),
+               stat(i, Mode::kGp4, "msgs")});
   }
   bench::emit(
       "Figure 8 - resend operations on restart (HPL). Expect: GP1 most and "
       "most variable",
-      t, csv);
+      t, csv, camp.unfinished_runs);
   return 0;
 }

@@ -5,8 +5,6 @@
 // more checkpoints GP catches up (crossover around the 180 s interval = 4
 // checkpoints) and wins at 60/120 s — i.e. GP affords more checkpoints for
 // the same total time, reducing expected work loss.
-#include <map>
-
 #include "apps/hpl.hpp"
 #include "bench_common.hpp"
 
@@ -20,49 +18,60 @@ int main(int argc, char** argv) {
       cli.get_int_list("intervals", {0, 60, 120, 180, 300}, "ckpt periods");
   const std::int64_t problem =
       cli.get_int("n", 56000, "HPL problem size (paper: 56000)");
-  const int reps = static_cast<int>(cli.get_int("reps", 3, "repetitions"));
+  const int reps = cli.get_reps(3);
   const bool csv = cli.get_bool("csv", false, "emit CSV");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   apps::HplParams hpl;
   hpl.n = problem;
   exp::AppFactory app = [hpl](int nr) { return apps::make_hpl(nr, hpl); };
-  const group::GroupSet gp_groups =
-      bench::groups_for(Mode::kGp, n, app, hpl.grid_rows);
-  const group::GroupSet norm_groups = group::make_norm(n);
+  auto cache = std::make_shared<bench::GroupCache>(app, hpl.grid_rows);
+  const std::vector<Mode> modes{Mode::kGp, Mode::kNorm};
+
+  exp::Scenario sc;
+  sc.name = "hpl/multi-ckpt";
+  sc.axes = {exp::SweepAxis::ints("interval", intervals),
+             bench::mode_axis(modes)};
+  sc.reps = reps;
+  sc.config = [n, app, cache](const exp::SweepPoint& point) {
+    exp::ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.nranks = n;
+    cfg.seed = point.seed;
+    cfg.groups = cache->get(bench::mode_at(point), n);
+    const double interval = point.get("interval");
+    if (interval > 0) {
+      cfg.checkpoints = true;
+      cfg.schedule.first_at_s = interval;
+      cfg.schedule.interval_s = interval;
+      cfg.schedule.round_spread_s = 0.4;
+    }
+    return cfg;
+  };
+  sc.collect = [](const exp::SweepPoint&, const exp::ExperimentResult& res,
+                  exp::Collector& col) {
+    col.add("exec", res.exec_time_s);
+    col.add("ckpts", res.checkpoints_completed);
+  };
+  const exp::CampaignResult camp = exp::run_campaign(sc, {jobs});
+  auto stat = [&](std::size_t ii, Mode m, const char* metric) {
+    return bench::cell_mean(
+        camp.stat(sc.cell_index({ii, bench::mode_index(modes, m)}), metric),
+        1);
+  };
 
   Table t({"interval_s", "GP_exec_s", "GP_ckpts", "NORM_exec_s",
            "NORM_ckpts"});
-  for (std::int64_t interval : intervals) {
-    std::map<Mode, RunningStats> exec;
-    std::map<Mode, RunningStats> counts;
-    for (Mode mode : {Mode::kGp, Mode::kNorm}) {
-      for (int rep = 1; rep <= reps; ++rep) {
-        exp::ExperimentConfig cfg;
-        cfg.app = app;
-        cfg.nranks = n;
-        cfg.seed = static_cast<std::uint64_t>(rep);
-        cfg.groups = mode == Mode::kGp ? gp_groups : norm_groups;
-        if (interval > 0) {
-          cfg.checkpoints = true;
-          cfg.schedule.first_at_s = static_cast<double>(interval);
-          cfg.schedule.interval_s = static_cast<double>(interval);
-          cfg.schedule.round_spread_s = 0.4;
-        }
-        exp::ExperimentResult res = exp::run_experiment(cfg);
-        exec[mode].add(res.exec_time_s);
-        counts[mode].add(res.checkpoints_completed);
-      }
-    }
-    t.add_row({Table::num(interval), Table::num(exec[Mode::kGp].mean(), 1),
-               Table::num(counts[Mode::kGp].mean(), 1),
-               Table::num(exec[Mode::kNorm].mean(), 1),
-               Table::num(counts[Mode::kNorm].mean(), 1)});
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    t.add_row({Table::num(intervals[i]), stat(i, Mode::kGp, "exec"),
+               stat(i, Mode::kGp, "ckpts"), stat(i, Mode::kNorm, "exec"),
+               stat(i, Mode::kNorm, "ckpts")});
   }
   bench::emit(
       "Figure 10 - multiple checkpoints (HPL N=56000, 128 procs). Expect: "
       "GP slower with 0 checkpoints (logging), overtakes NORM as "
       "checkpoints multiply",
-      t, csv);
+      t, csv, camp.unfinished_runs);
   return 0;
 }

@@ -4,8 +4,6 @@
 //
 // Paper shapes: same story as CG — GP's checkpoint ~ GP1 and below NORM;
 // GP's restart ~ NORM, GP1 higher and more variable.
-#include <map>
-
 #include "apps/sp.hpp"
 #include "bench_common.hpp"
 
@@ -15,48 +13,53 @@ using bench::Mode;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto procs = cli.get_int_list("procs", {64, 81, 100, 121}, "counts");
-  const int reps = static_cast<int>(cli.get_int("reps", 3, "repetitions"));
+  const int reps = cli.get_reps(3);
   const bool csv = cli.get_bool("csv", false, "emit CSV");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   exp::AppFactory app = [](int nr) { return apps::make_sp(nr); };
+  auto cache = std::make_shared<bench::GroupCache>(app);
+  const std::vector<Mode> modes{Mode::kGp, Mode::kGp1, Mode::kNorm};
 
-  std::map<std::pair<int, Mode>, RunningStats> ckpt, restart;
-  for (std::int64_t n64 : procs) {
-    const int n = static_cast<int>(n64);
-    for (Mode mode : {Mode::kGp, Mode::kGp1, Mode::kNorm}) {
-      const group::GroupSet groups = bench::groups_for(mode, n, app);
-      for (int rep = 1; rep <= reps; ++rep) {
-        exp::ExperimentConfig cfg;
-        cfg.app = app;
-        cfg.nranks = n;
-        cfg.seed = static_cast<std::uint64_t>(rep);
-        cfg.groups = groups;
-        cfg.checkpoints = true;
-        cfg.schedule.first_at_s = 60.0;
-        cfg.schedule.round_spread_s = 0.4;
-        cfg.restart_after_finish = true;
-        exp::ExperimentResult res = exp::run_experiment(cfg);
-        ckpt[{n, mode}].add(res.metrics.aggregate_ckpt_time_s());
-        restart[{n, mode}].add(res.restart_aggregate_s);
-      }
-    }
-  }
+  exp::Scenario sc;
+  sc.name = "sp/ckpt-restart";
+  sc.axes = {exp::SweepAxis::ints("procs", procs), bench::mode_axis(modes)};
+  sc.reps = reps;
+  sc.config = [app, cache](const exp::SweepPoint& point) {
+    exp::ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.nranks = static_cast<int>(point.get_int("procs"));
+    cfg.seed = point.seed;
+    cfg.groups = cache->get(bench::mode_at(point), cfg.nranks);
+    cfg.checkpoints = true;
+    cfg.schedule.first_at_s = 60.0;
+    cfg.schedule.round_spread_s = 0.4;
+    cfg.restart_after_finish = true;
+    return cfg;
+  };
+  sc.collect = [](const exp::SweepPoint&, const exp::ExperimentResult& res,
+                  exp::Collector& col) {
+    col.add("ckpt", res.metrics.aggregate_ckpt_time_s());
+    col.add("restart", res.restart_aggregate_s);
+  };
+  const exp::CampaignResult camp = exp::run_campaign(sc, {jobs});
 
-  auto table_for = [&](std::map<std::pair<int, Mode>, RunningStats>& data) {
+  auto table_for = [&](const char* metric) {
     Table t({"procs", "GP_s", "GP1_s", "NORM_s"});
-    for (std::int64_t n64 : procs) {
-      const int n = static_cast<int>(n64);
-      t.add_row({Table::num(static_cast<std::int64_t>(n)),
-                 Table::num(data[{n, Mode::kGp}].mean(), 1),
-                 Table::num(data[{n, Mode::kGp1}].mean(), 1),
-                 Table::num(data[{n, Mode::kNorm}].mean(), 1)});
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      std::vector<std::string> row{Table::num(procs[i])};
+      for (std::size_t mi = 0; mi < modes.size(); ++mi) {
+        row.push_back(
+            bench::cell_mean(camp.stat(sc.cell_index({i, mi}), metric), 1));
+      }
+      t.add_row(row);
     }
     return t;
   };
-  bench::emit("Figure 12a - SP Class C summed checkpoint time", table_for(ckpt),
-              csv);
-  bench::emit("Figure 12b - SP Class C summed restart time", table_for(restart),
-              csv);
+  bench::emit("Figure 12a - SP Class C summed checkpoint time",
+              table_for("ckpt"), csv, camp.unfinished_runs);
+  bench::emit("Figure 12b - SP Class C summed restart time",
+              table_for("restart"), csv, camp.unfinished_runs);
   return 0;
 }

@@ -12,44 +12,53 @@ using bench::Mode;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  const auto procs =
-      cli.get_int_list("procs", {16, 32, 64, 128}, "counts");
-  const int reps = static_cast<int>(cli.get_int("reps", 3, "repetitions"));
+  const auto procs = cli.get_int_list("procs", {16, 32, 64, 128}, "counts");
+  const int reps = cli.get_reps(3);
   const bool csv = cli.get_bool("csv", false, "emit CSV");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   exp::AppFactory app = [](int nr) { return apps::make_cg(nr); };
+  auto cache = std::make_shared<bench::GroupCache>(app);
+
+  exp::Scenario sc;
+  sc.name = "cg/avg-ckpt-time";
+  // protocol: 0 = GP (group protocol), 1 = VCL.
+  sc.axes = {exp::SweepAxis::ints("procs", procs),
+             exp::SweepAxis::ints("protocol", {0, 1})};
+  sc.reps = reps;
+  sc.config = [app, cache](const exp::SweepPoint& point) {
+    exp::ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.nranks = static_cast<int>(point.get_int("procs"));
+    cfg.seed = point.seed;
+    cfg.remote_storage = true;
+    cfg.checkpoints = true;
+    cfg.schedule.first_at_s = 60.0;
+    if (point.get_int("protocol") == 1) {
+      cfg.protocol = exp::ProtocolKind::kVcl;
+    } else {
+      cfg.groups = cache->get(Mode::kGp, cfg.nranks);
+      cfg.schedule.round_spread_s = 0.4;
+    }
+    return cfg;
+  };
+  sc.collect = [](const exp::SweepPoint&, const exp::ExperimentResult& res,
+                  exp::Collector& col) {
+    col.add("per_ckpt", res.metrics.mean_ckpt_time_s());
+  };
+  const exp::CampaignResult camp = exp::run_campaign(sc, {jobs});
 
   Table t({"procs", "GP_per_ckpt_s", "VCL_per_ckpt_s"});
-  for (std::int64_t n64 : procs) {
-    const int n = static_cast<int>(n64);
-    const group::GroupSet gp_groups = bench::groups_for(Mode::kGp, n, app);
-    RunningStats gp_time, vcl_time;
-    for (int rep = 1; rep <= reps; ++rep) {
-      for (bool use_vcl : {false, true}) {
-        exp::ExperimentConfig cfg;
-        cfg.app = app;
-        cfg.nranks = n;
-        cfg.seed = static_cast<std::uint64_t>(rep);
-        cfg.remote_storage = true;
-        cfg.checkpoints = true;
-        cfg.schedule.first_at_s = 60.0;
-        if (use_vcl) {
-          cfg.protocol = exp::ProtocolKind::kVcl;
-        } else {
-          cfg.groups = gp_groups;
-          cfg.schedule.round_spread_s = 0.4;
-        }
-        exp::ExperimentResult res = exp::run_experiment(cfg);
-        (use_vcl ? vcl_time : gp_time).add(res.metrics.mean_ckpt_time_s());
-      }
-    }
-    t.add_row({Table::num(static_cast<std::int64_t>(n)),
-               Table::num(gp_time.mean(), 2), Table::num(vcl_time.mean(), 2)});
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    t.add_row(
+        {Table::num(procs[i]),
+         bench::cell_mean(camp.stat(sc.cell_index({i, 0}), "per_ckpt"), 2),
+         bench::cell_mean(camp.stat(sc.cell_index({i, 1}), "per_ckpt"), 2)});
   }
   bench::emit(
       "Figure 14 - average time per checkpoint on remote storage (CG Class "
       "C). Expect: GP < VCL throughout, VCL rising steeply",
-      t, csv);
+      t, csv, camp.unfinished_runs);
   return 0;
 }

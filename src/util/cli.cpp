@@ -98,6 +98,23 @@ std::vector<std::int64_t> Cli::get_int_list(
   return out;
 }
 
+int Cli::get_jobs() {
+  const std::int64_t jobs =
+      get_int("jobs", 0, "campaign worker threads (0 = all hardware threads)");
+  if (jobs < 0 || jobs > 65536) {
+    usage_error(program_, "--jobs must be in 0..65536");
+  }
+  return static_cast<int>(jobs);
+}
+
+int Cli::get_reps(int def) {
+  const std::int64_t reps = get_int("reps", def, "repetitions (seeds 1..n)");
+  if (reps < 1 || reps > 1000000) {
+    usage_error(program_, "--reps must be in 1..1000000");
+  }
+  return static_cast<int>(reps);
+}
+
 void Cli::finish() {
   if (help_requested_) {
     std::printf("usage: %s [flags]\n", program_.c_str());

@@ -32,6 +32,16 @@ class Cli {
                                          const std::vector<std::int64_t>& def,
                                          const std::string& help);
 
+  /// Declares the standard `--jobs` flag for campaign-driven benches and
+  /// returns its value: campaign worker threads, 0 (the default) meaning
+  /// one per hardware thread. Rejects values outside 0..65536.
+  int get_jobs();
+
+  /// Declares the standard `--reps` flag (campaign repetitions = seeds
+  /// 1..n) and returns its value. Rejects values outside 1..1000000 with a
+  /// usage error — Scenario aborts on reps < 1, so catch it at the CLI.
+  int get_reps(int def);
+
   /// After all declarations: handles --help (prints usage, exits 0) and
   /// errors out on any flag that was provided but never declared.
   void finish();

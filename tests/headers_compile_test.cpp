@@ -17,7 +17,9 @@
 #include "core/recovery.hpp"
 #include "core/scheduler.hpp"
 #include "core/vcl_protocol.hpp"
+#include "exp/campaign.hpp"
 #include "exp/experiment.hpp"
+#include "exp/scenario.hpp"
 #include "group/dynamic.hpp"
 #include "group/formation.hpp"
 #include "group/group.hpp"

@@ -97,6 +97,50 @@ TEST(Stats, MergeEqualsCombined) {
   EXPECT_EQ(a.count(), all.count());
   EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
   EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.sum(), all.sum(), 1e-12);
+}
+
+TEST(Stats, MergeWithEmptyIsIdentity) {
+  RunningStats full, empty;
+  for (double v : {3.0, -1.0, 7.5}) full.add(v);
+
+  RunningStats lhs = full;
+  lhs.merge(empty);  // merging an empty accumulator changes nothing
+  EXPECT_EQ(lhs.count(), 3u);
+  EXPECT_DOUBLE_EQ(lhs.mean(), full.mean());
+  EXPECT_DOUBLE_EQ(lhs.variance(), full.variance());
+  EXPECT_DOUBLE_EQ(lhs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(lhs.max(), 7.5);
+
+  RunningStats into_empty;
+  into_empty.merge(full);  // merging into an empty one copies
+  EXPECT_EQ(into_empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(into_empty.mean(), full.mean());
+  EXPECT_DOUBLE_EQ(into_empty.variance(), full.variance());
+  EXPECT_DOUBLE_EQ(into_empty.min(), -1.0);
+  EXPECT_DOUBLE_EQ(into_empty.max(), 7.5);
+}
+
+TEST(Stats, MergeManyPartitionsMatchesSingleStream) {
+  // Parallel-shape check: one accumulator per "worker", folded in order,
+  // must equal the single-stream accumulation the serial benches did.
+  Rng r(29);
+  std::vector<RunningStats> parts(4);
+  RunningStats all;
+  for (int i = 0; i < 400; ++i) {
+    const double v = r.next_lognormal(0.0, 1.0);
+    parts[static_cast<std::size_t>(i) % parts.size()].add(v);
+    all.add(v);
+  }
+  RunningStats folded;
+  for (const RunningStats& p : parts) folded.merge(p);
+  EXPECT_EQ(folded.count(), all.count());
+  EXPECT_NEAR(folded.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(folded.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(folded.min(), all.min());
+  EXPECT_DOUBLE_EQ(folded.max(), all.max());
 }
 
 TEST(Stats, PercentileInterpolates) {
