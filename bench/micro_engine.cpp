@@ -1,0 +1,221 @@
+// Engine micro-benchmark: events per wall-second on the simulator's hot
+// paths, with no external dependencies so the target always builds.
+//
+// Workloads:
+//   * callback_storm  — self-rescheduling periodic callbacks (the daemon
+//                       pattern), raw queue push/pop/dispatch cost
+//   * timer_storm     — N processes sleeping on staggered Delays (the
+//                       suspend/fire_at/resume cycle every compute() pays)
+//   * timer_cancel    — timers armed and claimed by a competing Trigger, so
+//                       every round recycles a cancelled waiter slot
+//   * ping_pong       — channel handoff pairs (the per-rank delivery idiom)
+//   * spawn_kill      — process churn: spawn, let run, kill half while queued
+//
+// Output is one JSON object per line (events = Engine::events_processed()
+// delta; rate = events / wall second), plus a trailing summary object. CI
+// uploads the JSON as the perf-smoke artifact; docs/BENCHMARKS.md records
+// reference numbers.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/awaitables.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace gcr;
+using sim::Co;
+using sim::Engine;
+using sim::Time;
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+struct Result {
+  std::uint64_t events = 0;
+  double seconds = 0;
+};
+
+/// Runs `body` (which builds and drains one engine) `reps` times and keeps
+/// the best rate — micro-runs on a shared machine are noisy in one
+/// direction only.
+template <class Body>
+Result best_of(int reps, const Body& body) {
+  Result best;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    const std::uint64_t events = body();
+    const double dt = now_seconds() - t0;
+    if (best.seconds == 0 || events / dt > best.events / best.seconds) {
+      best = {events, dt};
+    }
+  }
+  return best;
+}
+
+void emit(const std::string& name, const Result& r) {
+  std::printf(
+      "{\"bench\":\"%s\",\"events\":%llu,\"seconds\":%.6f,"
+      "\"events_per_sec\":%.0f}\n",
+      name.c_str(), static_cast<unsigned long long>(r.events), r.seconds,
+      r.seconds > 0 ? static_cast<double>(r.events) / r.seconds : 0.0);
+}
+
+// ------------------------------------------------------------- workloads
+
+std::uint64_t callback_storm(int outstanding, int rounds) {
+  // The daemon pattern: a bounded set of periodic callbacks, each
+  // rescheduling itself with a staggered period (so the heap reorders, not
+  // just FIFO-pops). Queue depth stays at `outstanding`, like the recovery
+  // timers and scheduler ticks of a real campaign job.
+  Engine eng;
+  long sink = 0;
+  struct Tick {
+    Engine* eng;
+    long* sink;
+    int left;
+    void operator()() {
+      ++*sink;
+      if (left > 0) {
+        eng->call_at(eng->now() + 1 + left % 7, Tick{eng, sink, left - 1});
+      }
+    }
+  };
+  for (int i = 0; i < outstanding; ++i) {
+    eng.call_at(i % 64, Tick{&eng, &sink, rounds - 1});
+  }
+  eng.run();
+  if (sink != static_cast<long>(outstanding) * rounds) std::abort();
+  return eng.events_processed();
+}
+
+Co<void> sleeper(Engine& eng, Time dt, int rounds) {
+  for (int i = 0; i < rounds; ++i) co_await sim::delay(eng, dt);
+}
+
+std::uint64_t timer_storm(int procs, int rounds) {
+  Engine eng;
+  for (int p = 0; p < procs; ++p) {
+    // Staggered periods force heap reordering, not just FIFO pops.
+    eng.spawn("t", sleeper(eng, 1 + p % 7, rounds));
+  }
+  eng.run();
+  return eng.events_processed();
+}
+
+std::uint64_t timer_cancel(int rounds) {
+  // A daemon alternates trigger waits with short sleeps while callbacks fire
+  // the trigger each round; every round arms and then recycles a waiter, so
+  // the pool's free list (not just heap push/pop) is on the clock.
+  Engine eng;
+  sim::Trigger t(eng);
+  auto racer = [](Engine& e, sim::Trigger& tr, int n) -> Co<void> {
+    for (int i = 0; i < n; ++i) {
+      co_await tr.wait();
+      tr.reset();
+      co_await sim::delay(e, 1);
+    }
+  };
+  eng.spawn("racer", racer(eng, t, rounds));
+  for (int i = 0; i < rounds; ++i) {
+    eng.call_at(2 * i, [&t] { t.fire(); });
+  }
+  eng.run();
+  return eng.events_processed();
+}
+
+Co<void> echo(sim::Channel<int>& in, sim::Channel<int>& out, int rounds) {
+  for (int i = 0; i < rounds; ++i) out.push(co_await in.pop());
+}
+
+Co<void> drive(sim::Channel<int>& out, sim::Channel<int>& in, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    out.push(i);
+    (void)co_await in.pop();
+  }
+}
+
+std::uint64_t ping_pong(int pairs, int rounds) {
+  Engine eng;
+  std::vector<std::unique_ptr<sim::Channel<int>>> chans;
+  for (int p = 0; p < pairs; ++p) {
+    chans.push_back(std::make_unique<sim::Channel<int>>(eng));
+    chans.push_back(std::make_unique<sim::Channel<int>>(eng));
+    auto& a = *chans[chans.size() - 2];
+    auto& b = *chans[chans.size() - 1];
+    eng.spawn("echo", echo(a, b, rounds));
+    eng.spawn("drive", drive(a, b, rounds));
+  }
+  eng.run();
+  return eng.events_processed();
+}
+
+std::uint64_t spawn_kill(int waves, int procs_per_wave) {
+  Engine eng;
+  std::uint64_t killed = 0;
+  for (int w = 0; w < waves; ++w) {
+    const Time base = w * 100;
+    eng.call_at(base, [&eng, &killed, procs_per_wave] {
+      std::vector<sim::ProcPtr> wave;
+      wave.reserve(static_cast<std::size_t>(procs_per_wave));
+      for (int i = 0; i < procs_per_wave; ++i) {
+        wave.push_back(eng.spawn("w", sleeper(eng, 10, 3)));
+      }
+      // Kill every other process while its first timer is still queued.
+      for (int i = 0; i < procs_per_wave; i += 2) {
+        eng.kill(*wave[static_cast<std::size_t>(i)]);
+        ++killed;
+      }
+    });
+  }
+  eng.run();
+  if (killed == 0) std::abort();
+  return eng.events_processed();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int scale =
+      static_cast<int>(cli.get_int("scale", 1, "workload multiplier"));
+  const int reps = static_cast<int>(
+      cli.get_int("repeat", 3, "timed repetitions (best kept)"));
+  cli.finish();
+
+  std::uint64_t total_events = 0;
+  double total_seconds = 0;
+  auto record = [&](const std::string& name, const Result& r) {
+    emit(name, r);
+    total_events += r.events;
+    total_seconds += r.seconds;
+  };
+
+  record("callback_storm",
+         best_of(reps, [&] { return callback_storm(512, 800 * scale); }));
+  record("timer_storm",
+         best_of(reps, [&] { return timer_storm(1000, 200 * scale); }));
+  record("timer_cancel",
+         best_of(reps, [&] { return timer_cancel(100000 * scale); }));
+  record("ping_pong",
+         best_of(reps, [&] { return ping_pong(500, 200 * scale); }));
+  record("spawn_kill",
+         best_of(reps, [&] { return spawn_kill(2000 * scale, 50); }));
+
+  std::printf(
+      "{\"bench\":\"TOTAL\",\"events\":%llu,\"seconds\":%.6f,"
+      "\"events_per_sec\":%.0f}\n",
+      static_cast<unsigned long long>(total_events), total_seconds,
+      total_seconds > 0 ? static_cast<double>(total_events) / total_seconds
+                        : 0.0);
+  return 0;
+}

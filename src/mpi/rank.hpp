@@ -104,7 +104,7 @@ class Rank {
   struct WaitingRecv {
     RankId src;
     int tag;
-    sim::WaiterPtr waiter;
+    sim::WaiterHandle waiter;
     Message* slot;
   };
   std::optional<WaitingRecv> waiting_;

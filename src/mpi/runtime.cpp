@@ -231,7 +231,7 @@ sim::Co<Message> Runtime::wait_match(Rank& rank, RankId src, int tag) {
     RankId src;
     int tag;
     Message msg{};
-    sim::WaiterPtr waiter;
+    sim::WaiterHandle waiter;
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
@@ -296,7 +296,7 @@ bool Runtime::is_duplicate(const Rank& rank, const Message& msg) const {
 }
 
 void Runtime::match_or_buffer(Rank& rank, Message msg) {
-  if (rank.waiting_ && !rank.waiting_->waiter->fired &&
+  if (rank.waiting_ && engine().waiter_live(rank.waiting_->waiter) &&
       is_next_in_sequence(
           msg, rank.waiting_->src,
           rank.consumed_[static_cast<std::size_t>(rank.waiting_->src)])) {

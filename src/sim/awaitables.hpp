@@ -1,9 +1,11 @@
 // Basic awaitables: Delay, Trigger, Semaphore, CountBarrier.
 //
 // Every awaitable that suspends on the engine follows the Waiter protocol
-// (sim/engine.hpp): register via suspend_current, resume through fire /
-// fire_at, and call finish_wait first thing in await_resume so kills turn
-// into ProcessKilled unwinds.
+// (sim/engine.hpp): register via suspend_current (a pooled slot, no heap
+// traffic), resume through fire / fire_at, and call finish_wait first thing
+// in await_resume so kills turn into ProcessKilled unwinds. Handles left in
+// wait queues after a kill are detected with waiter_live() — a recycled
+// slot's bumped generation reads as dead, so nothing needs shared ownership.
 #pragma once
 
 #include <coroutine>
@@ -18,21 +20,27 @@ namespace gcr::sim {
 
 /// co_await delay(engine, dt): suspend for dt simulated nanoseconds.
 /// dt == 0 still yields through the event queue (fairness point).
+/// Negative durations are a bug in the caller's cost model — asserted, not
+/// clamped; from_seconds() already clamps floating-point noise to zero.
 class Delay {
  public:
-  Delay(Engine& engine, Time duration) : engine(engine), duration(duration) {}
+  Delay(Engine& engine, Time duration) : engine(engine), duration(duration) {
+    GCR_CHECK_MSG(duration >= 0,
+                  "negative Delay duration; fix the caller's cost model "
+                  "(from_seconds already clamps floating-point noise to 0)");
+  }
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
     waiter_ = engine.suspend_current(h);
-    engine.fire_at(engine.now() + (duration < 0 ? 0 : duration), waiter_);
+    engine.fire_at(engine.now() + duration, waiter_);
   }
   void await_resume() { engine.finish_wait(waiter_); }
 
  private:
   Engine& engine;
   Time duration;
-  WaiterPtr waiter_;
+  WaiterHandle waiter_;
 };
 
 inline Delay delay(Engine& engine, Time dt) { return Delay{engine, dt}; }
@@ -47,7 +55,7 @@ class Trigger {
 
   void fire() {
     fired_ = true;
-    for (auto& w : waiters_) engine_->fire(w);
+    for (WaiterHandle w : waiters_) engine_->fire(w);
     waiters_.clear();
   }
 
@@ -56,7 +64,7 @@ class Trigger {
   auto wait() {
     struct Awaiter {
       Trigger* trigger;
-      WaiterPtr waiter;
+      WaiterHandle waiter;
       bool await_ready() const noexcept { return trigger->fired_; }
       void await_suspend(std::coroutine_handle<> h) {
         waiter = trigger->engine_->suspend_current(h);
@@ -66,13 +74,13 @@ class Trigger {
         if (waiter) trigger->engine_->finish_wait(waiter);
       }
     };
-    return Awaiter{this, nullptr};
+    return Awaiter{this, {}};
   }
 
  private:
   Engine* engine_;
   bool fired_ = false;
-  std::vector<WaiterPtr> waiters_;
+  std::vector<WaiterHandle> waiters_;
 };
 
 /// Counting semaphore with FIFO handoff; models serialized resources (disk
@@ -94,7 +102,7 @@ class Semaphore {
   auto acquire() {
     struct Awaiter {
       Semaphore* sem;
-      WaiterPtr waiter;
+      WaiterHandle waiter;
       bool granted = false;
       bool immediate = false;
 
@@ -121,12 +129,12 @@ class Semaphore {
         GCR_ASSERT(granted);
       }
     };
-    return Awaiter{this, nullptr};
+    return Awaiter{this, {}};
   }
 
  private:
   struct Entry {
-    WaiterPtr waiter;
+    WaiterHandle waiter;
     bool* granted;
   };
 
@@ -134,7 +142,7 @@ class Semaphore {
     while (permits_ > 0 && !waiters_.empty()) {
       Entry e = waiters_.front();
       waiters_.pop_front();
-      if (e.waiter->fired) continue;  // killed while queued
+      if (!engine_->waiter_live(e.waiter)) continue;  // killed while queued
       --permits_;
       *e.granted = true;
       engine_->fire(e.waiter);

@@ -3,7 +3,8 @@
 // The MiniMPI runtime uses channels for per-rank delivery queues and the
 // protocol daemons use them for control traffic. Values pushed while a
 // receiver waits are handed over directly; a receiver killed while waiting
-// leaves a claimed entry that later pushes skip over.
+// leaves a stale handle (claimed or generation-bumped) that later pushes
+// skip over via Engine::waiter_live.
 #pragma once
 
 #include <coroutine>
@@ -30,7 +31,8 @@ class Channel {
     while (!waiters_.empty()) {
       Entry e = std::move(waiters_.front());
       waiters_.pop_front();
-      if (e.waiter->fired) continue;  // waiter was killed; skip it
+      // A killed waiter's slot was recycled (generation bump); skip it.
+      if (!engine_->waiter_live(e.waiter)) continue;
       *e.slot = std::move(value);
       const bool claimed = engine_->fire(e.waiter);
       GCR_ASSERT(claimed);
@@ -52,7 +54,7 @@ class Channel {
       Channel* channel;
       T value{};
       bool immediate = false;
-      WaiterPtr waiter;
+      WaiterHandle waiter;
 
       bool await_ready() {
         if (!channel->items_.empty() && channel->waiters_.empty()) {
@@ -72,12 +74,12 @@ class Channel {
         return std::move(value);
       }
     };
-    return Awaiter{this, {}, false, nullptr};
+    return Awaiter{this, {}, false, {}};
   }
 
  private:
   struct Entry {
-    WaiterPtr waiter;
+    WaiterHandle waiter;
     T* slot;
   };
 

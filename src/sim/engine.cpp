@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -48,10 +50,193 @@ static RootTask root_driver(Engine& eng, ProcPtr proc, Co<void> body,
   if (on_exit) on_exit(*proc, kind);
 }
 
-void Engine::call_at(Time t, std::function<void()> fn) {
-  GCR_ASSERT(t >= now_);
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+// ---------------------------------------------------------- event queues
+
+// 4-ary heap: half the depth of a binary heap and all four children on one
+// or two cache lines (24-byte PODs), which wins on the pop-heavy dispatch
+// loop even though each level compares up to four children.
+namespace {
+constexpr std::size_t kHeapArity = 4;
 }
+
+void Engine::heap_push(const Event& e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  // Hole-based sift-up: shift parents down, write the new event once.
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!event_before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Engine::heap_pop_top() {
+  const Event last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  // Floyd's bottom-up deletion: walk the hole down along min-children to a
+  // leaf comparing only siblings, then sift the displaced last element up
+  // from there. `last` came off the bottom, so it almost never rises —
+  // this skips the compare-against-last at every level of the plain
+  // sift-down, the hottest loop in the engine.
+  std::size_t hole = 0;
+  while (true) {
+    const std::size_t first = kHeapArity * hole + 1;
+    if (first + kHeapArity <= n) {
+      // All four children present: pairwise tree reduction keeps the
+      // dependency chain at two compares instead of a three-long scan.
+      const std::size_t a =
+          first + (event_before(heap_[first + 1], heap_[first]) ? 1 : 0);
+      const std::size_t b =
+          first + 2 + (event_before(heap_[first + 3], heap_[first + 2]) ? 1 : 0);
+      const std::size_t child = event_before(heap_[b], heap_[a]) ? b : a;
+      heap_[hole] = heap_[child];
+      hole = child;
+    } else if (first < n) {
+      std::size_t child = first;
+      for (std::size_t c = first + 1; c < n; ++c) {
+        if (event_before(heap_[c], heap_[child])) child = c;
+      }
+      heap_[hole] = heap_[child];
+      hole = child;
+    } else {
+      break;
+    }
+  }
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kHeapArity;
+    if (!event_before(last, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = last;
+}
+
+void Engine::grow_due(std::size_t capacity_pow2) {
+  if (capacity_pow2 <= due_.size()) return;
+  // Unwrap the ring into the bigger buffer in order.
+  std::vector<Event> bigger(capacity_pow2);
+  for (std::size_t k = 0; k < due_count_; ++k) {
+    bigger[k] = due_[(due_head_ + k) & (due_.size() - 1)];
+  }
+  due_ = std::move(bigger);
+  due_head_ = 0;
+}
+
+void Engine::due_push(const Event& e) {
+  if (due_count_ == due_.size()) {
+    grow_due(due_.empty() ? 64 : due_.size() * 2);
+  }
+  due_[(due_head_ + due_count_) & (due_.size() - 1)] = e;
+  ++due_count_;
+}
+
+void Engine::schedule(Time t, EventKind kind, std::uint32_t slot,
+                      std::uint32_t gen) {
+  const Event e{t, next_key(kind), slot, gen};
+  if (t == now_) {
+    due_push(e);
+  } else {
+    heap_push(e);
+  }
+}
+
+bool Engine::pop_next(Time until, Event& out) {
+  const bool have_due = due_count_ != 0;
+  const bool have_heap = !heap_.empty();
+  if (!have_due && !have_heap) return false;
+  // Due events carry at == now_, so they sort at-or-before every heap
+  // event except same-time entries armed earlier (smaller seq).
+  const bool take_due =
+      have_due && (!have_heap || event_before(due_[due_head_], heap_.front()));
+  const Event& cand = take_due ? due_[due_head_] : heap_.front();
+  if (cand.at > until) return false;
+  out = cand;
+  if (take_due) {
+    due_head_ = (due_head_ + 1) & (due_.size() - 1);
+    --due_count_;
+  } else {
+    heap_pop_top();
+  }
+  return true;
+}
+
+void Engine::reserve(std::size_t events, std::size_t waiters) {
+  heap_.reserve(events);
+  // The due ring must also cover `events`: a same-timestamp burst (e.g. a
+  // Trigger broadcast fanout) routes every resume through it.
+  grow_due(std::bit_ceil(std::max<std::size_t>(events, 64)));
+  waiter_pool_.reserve(waiters);
+  callback_pool_.reserve(events);
+  callback_free_.reserve(events);
+}
+
+// ----------------------------------------------------------- waiter pool
+
+WaiterHandle Engine::alloc_waiter(std::coroutine_handle<> h, Proc* proc) {
+  std::uint32_t slot;
+  if (waiter_free_head_ != WaiterHandle::kNullSlot) {
+    slot = waiter_free_head_;
+    waiter_free_head_ = waiter_pool_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(waiter_pool_.size());
+    waiter_pool_.emplace_back();
+  }
+  WaiterSlot& s = waiter_pool_[slot];
+  s.handle = h;
+  s.proc = proc;
+  s.fired = false;
+  return WaiterHandle{slot, s.gen};
+}
+
+void Engine::release_waiter(std::uint32_t slot) {
+  WaiterSlot& s = waiter_pool_[slot];
+  ++s.gen;  // invalidate every outstanding handle to this slot
+  s.handle = nullptr;
+  s.proc = nullptr;
+  s.next_free = waiter_free_head_;
+  waiter_free_head_ = slot;
+}
+
+// -------------------------------------------------------------- scheduling
+
+void Engine::call_at(Time t, SmallFn fn) {
+  GCR_ASSERT(t >= now_);
+  std::uint32_t slot;
+  if (!callback_free_.empty()) {
+    slot = callback_free_.back();
+    callback_free_.pop_back();
+    callback_pool_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(callback_pool_.size());
+    callback_pool_.push_back(std::move(fn));
+  }
+  schedule(t, kCallback, slot, 0);
+}
+
+WaiterHandle Engine::suspend_current(std::coroutine_handle<> h) {
+  const WaiterHandle w = alloc_waiter(h, current_);
+  if (current_) current_->active_wait_ = w;
+  return w;
+}
+
+bool Engine::fire(WaiterHandle w) {
+  if (!waiter_live(w)) return false;
+  waiter_pool_[w.slot].fired = true;
+  schedule(now_, kResume, w.slot, w.gen);  // always O(1): same-time ring
+  return true;
+}
+
+void Engine::fire_at(Time t, WaiterHandle w) {
+  GCR_ASSERT(t >= now_);
+  GCR_ASSERT(w.slot < waiter_pool_.size());
+  schedule(t, kTimer, w.slot, w.gen);
+}
+
+// ------------------------------------------------------- process lifecycle
 
 ProcPtr Engine::spawn(std::string name, Co<void> body,
                       std::function<void(Proc&, ExitKind)> on_exit) {
@@ -59,11 +244,9 @@ ProcPtr Engine::spawn(std::string name, Co<void> body,
   ++live_processes_;
   RootTask root =
       root_driver(*this, proc, std::move(body), std::move(on_exit));
-  auto w = std::make_shared<Waiter>();
-  w->handle = root.handle;
-  w->proc = proc.get();
-  proc->active_wait = w;
-  fire_at(now_, std::move(w));
+  const WaiterHandle w = alloc_waiter(root.handle, proc.get());
+  proc->active_wait_ = w;
+  fire_at(now_, w);
   return proc;
 }
 
@@ -71,87 +254,96 @@ void Engine::kill(Proc& proc) {
   GCR_CHECK_MSG(&proc != current_, "a process must not kill itself");
   if (proc.killed_ || !proc.alive_) return;
   proc.killed_ = true;
-  if (proc.active_wait && !proc.active_wait->fired) {
-    fire(proc.active_wait);
-  }
-  // If there is no active wait the process has been spawned but its start
-  // event is still queued as a fired=false waiter... that case is covered:
-  // the start waiter IS the active wait. A live process is always either
-  // running (excluded above) or suspended with an active wait.
+  // Claims the currently-armed waiter unless another source already did (a
+  // stale or claimed handle makes fire() a no-op). A live process is always
+  // either running (excluded above) or suspended with an active wait — the
+  // spawn start waiter covers the killed-before-start case.
+  fire(proc.active_wait_);
 }
 
 void Engine::note_root_exit(Proc& proc, ExitKind kind) {
   (void)kind;
   proc.alive_ = false;
-  proc.active_wait.reset();
+  proc.active_wait_ = WaiterHandle{};
   GCR_ASSERT(live_processes_ > 0);
   --live_processes_;
 }
 
+// ---------------------------------------------------------------- dispatch
+
+void Engine::resume_slot(std::uint32_t slot) {
+  WaiterSlot& s = waiter_pool_[slot];
+  GCR_ASSERT(s.fired);
+  const std::coroutine_handle<> h = s.handle;
+  Proc* const proc = s.proc;
+  if (proc && proc->active_wait_ == WaiterHandle{slot, s.gen}) {
+    proc->active_wait_ = WaiterHandle{};
+  }
+  // Recycle before resuming: outstanding handles are invalidated by the
+  // generation bump, and an immediate re-suspension typically gets this
+  // same (cache-hot) slot back off the free list.
+  release_waiter(slot);
+  Proc* const prev = current_;
+  current_ = proc;
+  h.resume();
+  current_ = prev;
+}
+
+void Engine::dispatch(const Event& ev) {
+  switch (static_cast<EventKind>(ev.key & 3)) {
+    case kCallback: {
+      // Move out and free the slot first: the callback may re-enter
+      // call_at and grow or reuse the pool.
+      SmallFn fn = std::move(callback_pool_[ev.slot]);
+      callback_free_.push_back(ev.slot);
+      fn();
+      return;
+    }
+    case kTimer: {
+      WaiterSlot& s = waiter_pool_[ev.slot];
+      if (s.gen != ev.gen || s.fired) return;  // cancelled or claimed
+      s.fired = true;
+      resume_slot(ev.slot);
+      return;
+    }
+    case kResume: {
+      // The claim (fired=true) pins the slot until this event runs, so the
+      // generation must still match.
+      GCR_ASSERT(waiter_pool_[ev.slot].gen == ev.gen);
+      resume_slot(ev.slot);
+      return;
+    }
+  }
+}
+
 std::uint64_t Engine::run(Time until) {
+  GCR_ASSERT(until >= now_);  // the clock never moves backwards
   std::uint64_t processed = 0;
-  while (!queue_.empty() && queue_.top().at <= until) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  Event ev;
+  while (pop_next(until, ev)) {
     GCR_ASSERT(ev.at >= now_);
     now_ = ev.at;
-    ev.fn();
+    dispatch(ev);
     ++processed;
     ++events_processed_;
   }
-  if (queue_.empty() && now_ < until && until != kTimeMax) now_ = until;
+  if (idle() && now_ < until && until != kTimeMax) now_ = until;
   return processed;
 }
 
 std::uint64_t Engine::run_while(const std::function<bool()>& keep_going) {
   std::uint64_t processed = 0;
-  while (!queue_.empty() && keep_going()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  Event ev;
+  // Same predicate order as run(): emptiness first, keep_going second, so
+  // the predicate is never consulted once the queue has drained.
+  while (!idle() && keep_going() && pop_next(kTimeMax, ev)) {
     GCR_ASSERT(ev.at >= now_);
     now_ = ev.at;
-    ev.fn();
+    dispatch(ev);
     ++processed;
     ++events_processed_;
   }
   return processed;
-}
-
-WaiterPtr Engine::suspend_current(std::coroutine_handle<> h) {
-  auto w = std::make_shared<Waiter>();
-  w->handle = h;
-  w->proc = current_;
-  if (current_) current_->active_wait = w;
-  return w;
-}
-
-bool Engine::fire(const WaiterPtr& w) {
-  if (w->fired) return false;
-  w->fired = true;
-  WaiterPtr keep = w;  // keep alive until the resume executes
-  post([this, keep] { resume_waiter(keep); });
-  return true;
-}
-
-void Engine::fire_at(Time t, WaiterPtr w) {
-  call_at(t, [this, w = std::move(w)] {
-    if (w->fired) return;  // claimed by another source (e.g. kill)
-    w->fired = true;
-    resume_waiter(w);
-  });
-}
-
-void Engine::finish_wait(const WaiterPtr& w) {
-  if (w->proc && w->proc->killed_) throw ProcessKilled{};
-}
-
-void Engine::resume_waiter(const WaiterPtr& w) {
-  GCR_ASSERT(w->fired);
-  Proc* prev = current_;
-  current_ = w->proc;
-  if (w->proc && w->proc->active_wait == w) w->proc->active_wait.reset();
-  w->handle.resume();
-  current_ = prev;
 }
 
 }  // namespace gcr::sim

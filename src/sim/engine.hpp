@@ -1,43 +1,61 @@
 // Discrete-event engine driving coroutine processes.
 //
 // Single-threaded. Events are totally ordered by (time, insertion sequence),
-// so one seed gives bit-identical runs. Two event kinds share the queue:
-// plain callbacks (daemons, request delivery) and waiter resumptions
-// (suspended process coroutines).
+// so one seed gives bit-identical runs. The queue is two structures sharing
+// one sequence space: events scheduled at the current timestamp (claimed
+// resumes, post(), zero-delay timers — the bulk of channel/protocol
+// traffic) go through an O(1) FIFO ring, and future events through a flat,
+// reserve()-able 4-ary min-heap of 24-byte typed Event records — a tagged
+// union of {waiter resume, armed timer, small callback}. Dispatch always
+// takes the globally smallest (time, seq), so the split is invisible to
+// ordering. Steady-state traffic never touches the allocator: waiters live
+// in an engine-owned slot pool recycled through a free list, and callback
+// captures sit in SmallFn small-buffer storage pooled the same way.
 //
-// Kill protocol: processes are never destroyed from the outside. kill() marks
-// the process and claims its currently-armed waiter for immediate resumption;
-// the awaitable's await_resume sees the flag and throws ProcessKilled, which
-// unwinds the coroutine chain (RAII deregisters everything) up to the root
-// driver, which reports the exit. See DESIGN.md §2.1.
+// Waiter protocol: a suspended coroutine registers exactly one pooled waiter
+// slot and gets back a generation-counted WaiterHandle. Exactly one
+// resumption source may claim the slot (fired flag); later sources see
+// fired — or, once the slot has been recycled, a bumped generation — and
+// back off. fire() claims immediately and resumes through a same-time heap
+// entry; fire_at() arms a timer that claims at dispatch.
+//
+// Kill protocol: processes are never destroyed from the outside. kill()
+// marks the process and claims its currently-armed waiter for immediate
+// resumption; the awaitable's await_resume sees the flag (finish_wait) and
+// throws ProcessKilled, which unwinds the coroutine chain (RAII deregisters
+// everything) up to the root driver, which reports the exit. Stale handles
+// left behind in channels or semaphore queues are neutralized by the
+// generation counter instead of shared ownership. See DESIGN.md §2.1.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "sim/co.hpp"
+#include "sim/smallfn.hpp"
 #include "sim/time.hpp"
 
 namespace gcr::sim {
 
 class Engine;
 
-/// One suspended coroutine waiting for a resumption. Exactly one resumption
-/// source may "claim" it (fired flag); later sources see fired and back off.
-/// Held by shared_ptr so a cancelled timer or channel entry can outlive the
-/// coroutine frame safely.
-struct Waiter {
-  std::coroutine_handle<> handle;
-  class Proc* proc = nullptr;
-  bool fired = false;
-};
+/// Generation-counted reference to a pooled waiter slot. Copyable value
+/// type; a handle whose slot has since been recycled (generation mismatch)
+/// behaves like an already-claimed waiter: fire() returns false,
+/// waiter_live() returns false.
+struct WaiterHandle {
+  static constexpr std::uint32_t kNullSlot = 0xffffffffu;
 
-using WaiterPtr = std::shared_ptr<Waiter>;
+  std::uint32_t slot = kNullSlot;
+  std::uint32_t gen = 0;
+
+  explicit operator bool() const { return slot != kNullSlot; }
+  friend bool operator==(const WaiterHandle&, const WaiterHandle&) = default;
+};
 
 enum class ExitKind { kFinished, kKilled };
 
@@ -56,8 +74,8 @@ class Proc {
   std::uint64_t pid_;
   std::string name_;
   bool killed_ = false;
-  bool alive_ = true;    // false once the root driver finishes/unwinds
-  WaiterPtr active_wait; // innermost armed engine waiter, if suspended
+  bool alive_ = true;          // false once the root driver finishes/unwinds
+  WaiterHandle active_wait_;   // innermost armed engine waiter, if suspended
 };
 
 using ProcPtr = std::shared_ptr<Proc>;
@@ -71,12 +89,14 @@ class Engine {
   Time now() const { return now_; }
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Pre-sizes the event heap and the waiter/callback pools so a workload
+  /// of known scale runs allocation-free from the first event.
+  void reserve(std::size_t events, std::size_t waiters);
+
   // --- plain callbacks ---
-  void call_at(Time t, std::function<void()> fn);
-  void call_after(Time dt, std::function<void()> fn) {
-    call_at(now_ + dt, std::move(fn));
-  }
-  void post(std::function<void()> fn) { call_at(now_, std::move(fn)); }
+  void call_at(Time t, SmallFn fn);
+  void call_after(Time dt, SmallFn fn) { call_at(now_ + dt, std::move(fn)); }
+  void post(SmallFn fn) { call_at(now_, std::move(fn)); }
 
   // --- process lifecycle ---
   /// Spawns a process executing `body` starting at the current time.
@@ -93,8 +113,14 @@ class Engine {
   std::size_t live_process_count() const { return live_processes_; }
 
   // --- main loop ---
-  /// Runs events until the queue empties or `until` is passed (events at
-  /// exactly `until` are executed). Returns number of events processed.
+  /// Runs events until the queue empties or `until` is passed. Events at
+  /// exactly `until` are executed. Returns the number of events processed.
+  ///
+  /// Clock-advance rule: `until` must not be in the past (asserted). On
+  /// return, now() is `until` if the queue drained and `until` is finite;
+  /// if events beyond `until` remain, now() stays at the last executed
+  /// event's timestamp (or its entry value if nothing ran). A bare run()
+  /// (until == kTimeMax) never advances past the last event.
   std::uint64_t run(Time until = kTimeMax);
 
   /// Runs events while `keep_going()` is true (checked before each event)
@@ -103,25 +129,38 @@ class Engine {
   std::uint64_t run_while(const std::function<bool()>& keep_going);
 
   /// True if no events remain.
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return heap_.empty() && due_count_ == 0; }
 
   // --- awaitable support (used by awaitables.hpp / channel.hpp etc.) ---
-  /// Registers the currently-running process's suspension; returns the waiter
-  /// to hand to a resumption source. Works for non-process coroutines too
-  /// (proc == nullptr), which are then not killable.
-  WaiterPtr suspend_current(std::coroutine_handle<> h);
+  /// Registers the currently-running process's suspension in the waiter
+  /// pool; returns the handle to give to a resumption source. Works for
+  /// non-process coroutines too (proc == nullptr), which are then not
+  /// killable.
+  WaiterHandle suspend_current(std::coroutine_handle<> h);
 
-  /// Claims the waiter and schedules its resumption now. Returns false if it
-  /// was already claimed (caller must not consider it woken).
-  bool fire(const WaiterPtr& w);
+  /// Claims the waiter and schedules its resumption at the current time
+  /// (next in FIFO order). Returns false if it was already claimed or the
+  /// slot has been recycled (caller must not consider it woken).
+  bool fire(WaiterHandle w);
 
-  /// Schedules a resumption attempt at time t (claims at dequeue time).
-  void fire_at(Time t, WaiterPtr w);
+  /// Arms a timer: a resumption attempt at time t that claims at dispatch.
+  void fire_at(Time t, WaiterHandle w);
+
+  /// True if the handle still references its original, unclaimed waiter.
+  /// Queues that skip dead entries (channels, semaphores) test this instead
+  /// of holding shared ownership of a Waiter object.
+  bool waiter_live(WaiterHandle w) const {
+    return w.slot < waiter_pool_.size() &&
+           waiter_pool_[w.slot].gen == w.gen && !waiter_pool_[w.slot].fired;
+  }
 
   /// Called at the top of every await_resume for an engine suspension:
-  /// clears the active wait and throws ProcessKilled if the process was
-  /// killed while suspended.
-  void finish_wait(const WaiterPtr& w);
+  /// throws ProcessKilled if the process was killed while suspended. The
+  /// waiter slot itself was already recycled when the resume dispatched.
+  void finish_wait(WaiterHandle w) {
+    (void)w;
+    if (current_ && current_->killed_) throw ProcessKilled{};
+  }
 
   /// The process currently executing, or nullptr (callbacks, top level).
   Proc* current() const { return current_; }
@@ -129,20 +168,58 @@ class Engine {
   /// Internal: called by the root driver when a process body exits.
   void note_root_exit(Proc& proc, ExitKind kind);
 
+  // --- introspection (tests, stress harnesses) ---
+  /// Total waiter slots ever created; stays flat once the pool recycles.
+  std::size_t waiter_pool_size() const { return waiter_pool_.size(); }
+  std::size_t event_queue_depth() const { return heap_.size() + due_count_; }
+
  private:
-  struct Event {
-    Time at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;  // min-heap on time
-      return a.seq > b.seq;                  // FIFO among equal times
-    }
+  enum EventKind : std::uint64_t {
+    kCallback = 0,  ///< slot indexes callback_pool_
+    kTimer = 1,     ///< armed fire_at: claim waiter at dispatch, else no-op
+    kResume = 2,    ///< claimed resume: waiter generation must still match
   };
 
-  void resume_waiter(const WaiterPtr& w);
+  /// 24-byte POD queue record; sift operations are plain copies. The kind
+  /// tag lives in the low bits of `key` so (at, key) compares exactly like
+  /// (at, seq) — the sequence occupies the high bits and is monotone.
+  struct Event {
+    Time at;
+    std::uint64_t key;  ///< (seq << 2) | EventKind
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  struct WaiterSlot {
+    std::coroutine_handle<> handle{};
+    Proc* proc = nullptr;
+    std::uint32_t gen = 0;
+    bool fired = false;
+    std::uint32_t next_free = WaiterHandle::kNullSlot;
+  };
+
+  /// (at, key) lexicographic order, written as branch-free boolean algebra:
+  /// the min-of-children scans in the heap sift are data-dependent and
+  /// mispredict badly as jumps, but compile to setcc/cmov in this form.
+  static bool event_before(const Event& a, const Event& b) {
+    return (a.at < b.at) | ((a.at == b.at) & (a.key < b.key));
+  }
+  std::uint64_t next_key(EventKind kind) {
+    return (next_seq_++ << 2) | static_cast<std::uint64_t>(kind);
+  }
+  /// Routes to the due ring (t == now) or the heap (future).
+  void schedule(Time t, EventKind kind, std::uint32_t slot, std::uint32_t gen);
+  void heap_push(const Event& e);
+  void heap_pop_top();
+  void grow_due(std::size_t capacity_pow2);
+  void due_push(const Event& e);
+  /// Pops the globally smallest event if its time is <= until.
+  bool pop_next(Time until, Event& out);
+  void dispatch(const Event& ev);
+  void resume_slot(std::uint32_t slot);
+
+  WaiterHandle alloc_waiter(std::coroutine_handle<> h, Proc* proc);
+  void release_waiter(std::uint32_t slot);
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -150,7 +227,20 @@ class Engine {
   std::uint64_t events_processed_ = 0;
   std::size_t live_processes_ = 0;
   Proc* current_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+
+  std::vector<Event> heap_;  ///< 4-ary min-heap of future events
+
+  /// Power-of-two ring of events due at now_; drained (in seq order,
+  /// interleaved with same-time heap entries) before the clock advances.
+  std::vector<Event> due_;
+  std::size_t due_head_ = 0;
+  std::size_t due_count_ = 0;
+
+  std::vector<WaiterSlot> waiter_pool_;
+  std::uint32_t waiter_free_head_ = WaiterHandle::kNullSlot;
+
+  std::vector<SmallFn> callback_pool_;
+  std::vector<std::uint32_t> callback_free_;
 };
 
 }  // namespace gcr::sim

@@ -7,8 +7,7 @@
 namespace gcr::sim {
 
 Network::SendTimes Network::send(int src_node, int dst_node,
-                                 std::int64_t bytes,
-                                 std::function<void()> deliver) {
+                                 std::int64_t bytes, SmallFn deliver) {
   GCR_CHECK(src_node >= 0 && src_node < num_nodes());
   GCR_CHECK(dst_node >= 0 && dst_node < num_nodes());
   GCR_CHECK(bytes >= 0);

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -42,7 +41,7 @@ class Network {
   /// The caller decides whether to block until egress_done (rendezvous data)
   /// or continue immediately (eager small messages).
   SendTimes send(int src_node, int dst_node, std::int64_t bytes,
-                 std::function<void()> deliver);
+                 SmallFn deliver);
 
   /// Pure timing query (no event scheduled, no NIC occupied).
   Time transfer_duration(std::int64_t bytes) const {

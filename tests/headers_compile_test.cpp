@@ -36,6 +36,7 @@
 #include "sim/engine.hpp"
 #include "sim/jitter.hpp"
 #include "sim/network.hpp"
+#include "sim/smallfn.hpp"
 #include "sim/storage.hpp"
 #include "sim/time.hpp"
 #include "trace/analysis.hpp"

@@ -44,6 +44,31 @@ TEST(Engine, RunUntilStopsAtBoundary) {
   EXPECT_EQ(fired, 2);
 }
 
+// Clock-advance rule regression (see Engine::run): `until` landing exactly
+// on a queued event's timestamp executes every event at that timestamp and
+// leaves the clock there; a finite `until` past the last event advances the
+// clock to `until`; bare run() never advances past the last event.
+TEST(Engine, RunUntilLandsExactlyOnEventTimestamp) {
+  Engine eng;
+  std::vector<int> fired;
+  eng.call_at(10_ms, [&] { fired.push_back(1); });
+  eng.call_at(10_ms, [&] { fired.push_back(2); });
+  eng.call_at(20_ms, [&] { fired.push_back(3); });
+  eng.run(10_ms);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));  // both events AT the boundary
+  EXPECT_EQ(eng.now(), 10_ms);                 // clock sits on the boundary
+  EXPECT_FALSE(eng.idle());                    // the 20ms event remains
+  eng.run(15_ms);                              // no events in (10, 15]
+  EXPECT_EQ(eng.now(), 10_ms);  // events remain -> clock does not advance
+  eng.run(20_ms);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 20_ms);
+  eng.run(30_ms);  // queue drained + finite until -> clock advances
+  EXPECT_EQ(eng.now(), 30_ms);
+  eng.run();  // bare run() on an empty queue leaves the clock alone
+  EXPECT_EQ(eng.now(), 30_ms);
+}
+
 TEST(Engine, RunWhilePredicateStops) {
   Engine eng;
   int fired = 0;

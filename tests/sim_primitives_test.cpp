@@ -10,6 +10,41 @@
 namespace gcr::sim {
 namespace {
 
+Co<void> delay_then_mark(Engine& eng, Time dt, std::vector<int>* log,
+                         int mark) {
+  co_await delay(eng, dt);
+  log->push_back(mark);
+}
+
+TEST(Delay, ZeroStillYieldsThroughQueue) {
+  // dt == 0 is a fairness point: the resumption goes through the event
+  // queue, so same-time work scheduled earlier runs first.
+  Engine eng;
+  std::vector<int> log;
+  eng.spawn("z", delay_then_mark(eng, 0, &log, 1));
+  eng.call_at(0, [&] { log.push_back(0); });
+  eng.run();
+  // The spawn's start event runs, suspends on delay(0); the callback
+  // (scheduled before the zero-delay resume) runs next; the mark last.
+  EXPECT_EQ(log, (std::vector<int>{0, 1}));
+  EXPECT_EQ(eng.now(), 0);
+}
+
+TEST(Delay, OneTickBoundaryOrdersAfterZero) {
+  Engine eng;
+  std::vector<int> log;
+  eng.spawn("one", delay_then_mark(eng, 1, &log, 1));
+  eng.spawn("zero", delay_then_mark(eng, 0, &log, 0));
+  eng.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1}));  // 0-tick before 1-tick
+  EXPECT_EQ(eng.now(), 1);
+}
+
+TEST(DelayDeathTest, NegativeDurationAborts) {
+  Engine eng;
+  EXPECT_DEATH({ Delay bad(eng, -1); }, "negative Delay duration");
+}
+
 Co<void> wait_trigger(Trigger& t, int* out) {
   co_await t.wait();
   *out += 1;
