@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_metrics_test.dir/tests/ckpt_metrics_test.cpp.o"
+  "CMakeFiles/ckpt_metrics_test.dir/tests/ckpt_metrics_test.cpp.o.d"
+  "ckpt_metrics_test"
+  "ckpt_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

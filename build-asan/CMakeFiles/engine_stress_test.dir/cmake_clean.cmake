@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_stress_test.dir/tests/engine_stress_test.cpp.o"
+  "CMakeFiles/engine_stress_test.dir/tests/engine_stress_test.cpp.o.d"
+  "engine_stress_test"
+  "engine_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cg.cpp" "CMakeFiles/gcr.dir/src/apps/cg.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/apps/cg.cpp.o.d"
+  "/root/repo/src/apps/hpl.cpp" "CMakeFiles/gcr.dir/src/apps/hpl.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/apps/hpl.cpp.o.d"
+  "/root/repo/src/apps/patterns.cpp" "CMakeFiles/gcr.dir/src/apps/patterns.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/apps/patterns.cpp.o.d"
+  "/root/repo/src/apps/simple.cpp" "CMakeFiles/gcr.dir/src/apps/simple.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/apps/simple.cpp.o.d"
+  "/root/repo/src/apps/sp.cpp" "CMakeFiles/gcr.dir/src/apps/sp.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/apps/sp.cpp.o.d"
+  "/root/repo/src/core/group_protocol.cpp" "CMakeFiles/gcr.dir/src/core/group_protocol.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/core/group_protocol.cpp.o.d"
+  "/root/repo/src/core/interval.cpp" "CMakeFiles/gcr.dir/src/core/interval.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/core/interval.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "CMakeFiles/gcr.dir/src/core/metrics.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/core/metrics.cpp.o.d"
+  "/root/repo/src/core/msglog.cpp" "CMakeFiles/gcr.dir/src/core/msglog.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/core/msglog.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "CMakeFiles/gcr.dir/src/core/recovery.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/core/recovery.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "CMakeFiles/gcr.dir/src/core/scheduler.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/vcl_protocol.cpp" "CMakeFiles/gcr.dir/src/core/vcl_protocol.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/core/vcl_protocol.cpp.o.d"
+  "/root/repo/src/exp/campaign.cpp" "CMakeFiles/gcr.dir/src/exp/campaign.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/exp/campaign.cpp.o.d"
+  "/root/repo/src/exp/experiment.cpp" "CMakeFiles/gcr.dir/src/exp/experiment.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/exp/experiment.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "CMakeFiles/gcr.dir/src/exp/scenario.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/exp/scenario.cpp.o.d"
+  "/root/repo/src/group/dynamic.cpp" "CMakeFiles/gcr.dir/src/group/dynamic.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/group/dynamic.cpp.o.d"
+  "/root/repo/src/group/formation.cpp" "CMakeFiles/gcr.dir/src/group/formation.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/group/formation.cpp.o.d"
+  "/root/repo/src/group/group.cpp" "CMakeFiles/gcr.dir/src/group/group.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/group/group.cpp.o.d"
+  "/root/repo/src/group/groupfile.cpp" "CMakeFiles/gcr.dir/src/group/groupfile.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/group/groupfile.cpp.o.d"
+  "/root/repo/src/group/strategies.cpp" "CMakeFiles/gcr.dir/src/group/strategies.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/group/strategies.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "CMakeFiles/gcr.dir/src/mpi/runtime.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/mpi/runtime.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "CMakeFiles/gcr.dir/src/sim/engine.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "CMakeFiles/gcr.dir/src/sim/network.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/sim/network.cpp.o.d"
+  "/root/repo/src/sim/storage.cpp" "CMakeFiles/gcr.dir/src/sim/storage.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/sim/storage.cpp.o.d"
+  "/root/repo/src/trace/analysis.cpp" "CMakeFiles/gcr.dir/src/trace/analysis.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/trace/analysis.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "CMakeFiles/gcr.dir/src/trace/io.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/trace/io.cpp.o.d"
+  "/root/repo/src/trace/timeline.cpp" "CMakeFiles/gcr.dir/src/trace/timeline.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/trace/timeline.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/gcr.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/gcr.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/gcr.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/gcr.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "CMakeFiles/gcr.dir/src/util/units.cpp.o" "gcc" "CMakeFiles/gcr.dir/src/util/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_formation_test.dir/tests/group_formation_test.cpp.o"
+  "CMakeFiles/group_formation_test.dir/tests/group_formation_test.cpp.o.d"
+  "group_formation_test"
+  "group_formation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_formation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

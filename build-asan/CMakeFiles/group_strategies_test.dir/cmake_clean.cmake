@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_strategies_test.dir/tests/group_strategies_test.cpp.o"
+  "CMakeFiles/group_strategies_test.dir/tests/group_strategies_test.cpp.o.d"
+  "group_strategies_test"
+  "group_strategies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headers_compile_test.dir/tests/headers_compile_test.cpp.o"
+  "CMakeFiles/headers_compile_test.dir/tests/headers_compile_test.cpp.o.d"
+  "headers_compile_test"
+  "headers_compile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headers_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

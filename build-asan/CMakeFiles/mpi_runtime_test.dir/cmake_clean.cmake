@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_runtime_test.dir/tests/mpi_runtime_test.cpp.o"
+  "CMakeFiles/mpi_runtime_test.dir/tests/mpi_runtime_test.cpp.o.d"
+  "mpi_runtime_test"
+  "mpi_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

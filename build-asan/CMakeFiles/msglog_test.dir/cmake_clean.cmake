@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msglog_test.dir/tests/msglog_test.cpp.o"
+  "CMakeFiles/msglog_test.dir/tests/msglog_test.cpp.o.d"
+  "msglog_test"
+  "msglog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msglog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

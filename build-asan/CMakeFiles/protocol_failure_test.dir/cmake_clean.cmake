@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_failure_test.dir/tests/protocol_failure_test.cpp.o"
+  "CMakeFiles/protocol_failure_test.dir/tests/protocol_failure_test.cpp.o.d"
+  "protocol_failure_test"
+  "protocol_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

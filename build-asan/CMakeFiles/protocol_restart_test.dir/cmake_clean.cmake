@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_restart_test.dir/tests/protocol_restart_test.cpp.o"
+  "CMakeFiles/protocol_restart_test.dir/tests/protocol_restart_test.cpp.o.d"
+  "protocol_restart_test"
+  "protocol_restart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_restart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_primitives_test.dir/tests/sim_primitives_test.cpp.o"
+  "CMakeFiles/sim_primitives_test.dir/tests/sim_primitives_test.cpp.o.d"
+  "sim_primitives_test"
+  "sim_primitives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

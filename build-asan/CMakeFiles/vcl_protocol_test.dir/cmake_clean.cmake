@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_protocol_test.dir/tests/vcl_protocol_test.cpp.o"
+  "CMakeFiles/vcl_protocol_test.dir/tests/vcl_protocol_test.cpp.o.d"
+  "vcl_protocol_test"
+  "vcl_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
