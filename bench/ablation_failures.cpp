@@ -44,7 +44,10 @@ int main(int argc, char** argv) {
     cfg.schedule.first_at_s = point.get("interval");
     cfg.schedule.interval_s = point.get("interval");
     cfg.schedule.round_spread_s = 0.4;
-    cfg.failures = {{0, fail_at}};
+    // One scheduled node fault via the fault-model subsystem; the node of
+    // group 0's first rank maps back to group 0 for every grouping mode.
+    cfg.fault_model.kind = sim::FaultModelKind::kTrace;
+    cfg.fault_model.schedule = {{fail_at, cfg.groups->members(0).front()}};
     return cfg;
   };
   sc.collect = [](const exp::SweepPoint&, const exp::ExperimentResult& res,

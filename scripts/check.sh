@@ -4,3 +4,6 @@
 set -eu
 cd "$(dirname "$0")/.."
 cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+# Explicit gate on the randomized fault-torture harness (also part of the
+# ctest run above; CI additionally runs it seed-by-seed under ASan+UBSan).
+./fault_torture_test

@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "mpi/rank.hpp"
 #include "sim/time.hpp"
+#include "util/assert.hpp"
 
 namespace gcr::ckpt {
 
@@ -33,10 +35,46 @@ struct StoredCheckpoint {
 /// Latest-image registry. The paper keeps one checkpoint per group (each
 /// successful checkpoint "comes with a correct set of message logs" and
 /// supersedes the previous); we keep the latest per rank.
+///
+/// Image visibility is two-phase so a failure mid-checkpoint never exposes
+/// a torn or mixed-epoch group cut: each member stages its image at the
+/// consistent cut, and once every member's write has finished (the group's
+/// finalize barrier acks are all in) the leader commits the whole group's
+/// staged images at one simulated instant with `commit_group`. A failure
+/// before the commit discards the stage (`discard_staged`, called when a
+/// rank is killed), so restore either sees the complete new epoch for every
+/// member or the previous epoch for every member — never a mixture.
 class ImageRegistry {
  public:
+  /// Immediate visibility; used by protocols whose commit point needs no
+  /// group agreement (VCL's global rounds) and by tests.
   void put(StoredCheckpoint image) {
     images_[image.meta.rank] = std::move(image);
+  }
+
+  /// Stages a rank's image pending group commit (replaces any prior stage).
+  void stage(StoredCheckpoint image) {
+    staged_[image.meta.rank] = std::move(image);
+  }
+
+  /// Drops a rank's staged image, if any (failure before commit).
+  void discard_staged(mpi::RankId rank) { staged_.erase(rank); }
+
+  bool has_staged(mpi::RankId rank) const { return staged_.count(rank) > 0; }
+
+  /// Atomically promotes every member's staged image of `epoch` to latest.
+  /// All members must have staged that epoch (protocol invariant: the
+  /// finalize barrier only passes once every member wrote its image).
+  void commit_group(const std::vector<mpi::RankId>& members,
+                    std::uint64_t epoch) {
+    for (mpi::RankId r : members) {
+      auto it = staged_.find(r);
+      GCR_CHECK_MSG(it != staged_.end() && it->second.meta.epoch == epoch,
+                    "commit_group: a member has no staged image for this "
+                    "epoch (finalize barrier passed without a write?)");
+      images_[r] = std::move(it->second);
+      staged_.erase(it);
+    }
   }
 
   /// nullptr if the rank never checkpointed (restart from scratch).
@@ -46,10 +84,14 @@ class ImageRegistry {
   }
 
   std::size_t count() const { return images_.size(); }
-  void clear() { images_.clear(); }
+  void clear() {
+    images_.clear();
+    staged_.clear();
+  }
 
  private:
   std::map<mpi::RankId, StoredCheckpoint> images_;
+  std::map<mpi::RankId, StoredCheckpoint> staged_;
 };
 
 }  // namespace gcr::ckpt

@@ -105,9 +105,63 @@ void GroupProtocol::rank_started(mpi::Rank& rank) {
   auto proc = rt_->engine().spawn("crdaemon" + std::to_string(rank.id()),
                                   daemon_loop(rank));
   rt_->set_daemon_proc(rank, std::move(proc));
-  if (state(rank).restoring) {
-    rt_->engine().spawn("restore" + std::to_string(rank.id()),
-                        run_restore(rank));
+  RankState& st = state(rank);
+  if (st.restoring) {
+    st.restore_proc = rt_->engine().spawn("restore" + std::to_string(rank.id()),
+                                          run_restore(rank));
+  }
+  // Deferred exchanges: any peer that restarted while this rank was down
+  // re-issues its volume-exchange request now that we are back, so the
+  // pair's replay/skip state converges even though the peer's restart
+  // preparation already completed without us.
+  for (int p = 0; p < rt_->nranks(); ++p) {
+    if (p == rank.id()) continue;
+    mpi::Rank& peer = rt_->rank(p);
+    RankState& ps = *states_[static_cast<std::size_t>(p)];
+    if (!peer.alive() || ps.exchange_deferred.count(rank.id()) == 0) continue;
+    ps.exchange_deferred.erase(rank.id());
+    ps.exchange_pending.insert(rank.id());
+    mpi::Message req;
+    req.ctrl = mpi::CtrlKind::kExchangeRequest;
+    req.ctrl_data = {ps.exchange_r[static_cast<std::size_t>(rank.id())],
+                     peer.sent_to(rank.id()).bytes};
+    rt_->send_ctrl(p, rank.id(), req);
+  }
+}
+
+void GroupProtocol::rank_killed(mpi::Rank& rank) {
+  RankState& st = state(rank);
+  // Stop auxiliary coroutines still acting for the dead incarnation.
+  if (st.restore_proc && st.restore_proc->alive()) {
+    rt_->engine().kill(*st.restore_proc);
+  }
+  st.restore_proc.reset();
+  for (sim::ProcPtr& p : st.serve_procs) {
+    if (p && p->alive()) rt_->engine().kill(*p);
+  }
+  st.serve_procs.clear();
+  // Roll back checkpoint state that died with the process: an image whose
+  // group commit never happened must not be restored from.
+  registry_->discard_staged(rank.id());
+  if (is_leader(rank) && st.round_open) {
+    ++metrics_->aborted_rounds;
+    st.round_open = false;
+  }
+  st.commit_pending = false;
+  st.in_checkpoint = false;
+  st.restoring = false;
+  st.exchange_pending.clear();
+  st.exchange_deferred.clear();
+  // Peers mid-restart waiting on our exchange reply must not wait forever:
+  // re-route their exchange to the deferred path (re-issued when we
+  // respawn) and wake them so their restart preparation can complete.
+  for (int p = 0; p < rt_->nranks(); ++p) {
+    if (p == rank.id()) continue;
+    RankState& ps = *states_[static_cast<std::size_t>(p)];
+    if (ps.exchange_pending.erase(rank.id()) > 0) {
+      ps.exchange_deferred.insert(rank.id());
+      wake(rt_->rank(p));
+    }
   }
 }
 
@@ -293,16 +347,27 @@ sim::Co<void> GroupProtocol::handle_ctrl(mpi::Rank& rank, mpi::Message msg) {
     }
 
     case mpi::CtrlKind::kExchangeRequest: {
-      // A restarting peer announces its restored volumes. Served in its own
-      // coroutine so the daemon keeps answering other peers; the reply is
-      // sent AFTER the replay so the peer's restart-preparation time
-      // includes the message resend (paper: GP1 restarts are slow and
-      // variable because of "resending variable amounts of messages to all
-      // other processes"). Failures never overlap restarts (RecoveryManager
-      // serializes recovery), so this transient coroutine cannot outlive
-      // the rank's incarnation.
-      rt_->engine().spawn("exchsrv" + std::to_string(rank.id()),
-                          serve_exchange(rank, std::move(msg)));
+      // A restarting peer announces its restored volumes. It rolled its
+      // receive counters back to ctrl_data[0]; re-base our re-execution
+      // skip toward it synchronously — a stale skip from an earlier
+      // exchange would suppress sends the rolled-back peer needs again,
+      // and the replay below only covers what is already in our log.
+      const std::int64_t peer_r = msg.ctrl_data.at(0);
+      st.skip_bytes[static_cast<std::size_t>(msg.src)] =
+          std::max<std::int64_t>(0, peer_r - rank.sent_to(msg.src).bytes);
+      // Served in its own coroutine so the daemon keeps answering other
+      // peers; the reply is sent AFTER the replay so the peer's
+      // restart-preparation time includes the message resend (paper: GP1
+      // restarts are slow and variable because of "resending variable
+      // amounts of messages to all other processes"). Recoveries may
+      // overlap, so the server handle is tracked and killed with the rank
+      // (rank_killed) — a server outliving its incarnation would replay
+      // from a rolled-back log.
+      std::erase_if(st.serve_procs,
+                    [](const sim::ProcPtr& p) { return !p || !p->alive(); });
+      st.serve_procs.push_back(
+          rt_->engine().spawn("exchsrv" + std::to_string(rank.id()),
+                              serve_exchange(rank, std::move(msg))));
       co_return;
     }
 
@@ -311,7 +376,11 @@ sim::Co<void> GroupProtocol::handle_ctrl(mpi::Rank& rank, mpi::Message msg) {
       const std::int64_t my_s = rank.sent_to(msg.src).bytes;
       st.skip_bytes[static_cast<std::size_t>(msg.src)] =
           std::max<std::int64_t>(0, peer_r - my_s);
-      ++st.exchange_replies;
+      st.exchange_pending.erase(msg.src);
+      // A reply that raced the peer's death still completes the exchange:
+      // the replay data preceded it on the wire, and the peer's own restart
+      // will re-run the pair's exchange from its side.
+      st.exchange_deferred.erase(msg.src);
       wake(rank);
       co_return;
     }
@@ -442,12 +511,24 @@ sim::Co<void> GroupProtocol::run_group_checkpoint(mpi::Rank& rank) {
     image.meta.written_at = eng.now();
     image.runtime_state = rt_->snapshot_rank(rank);
     image.protocol_state = StateSnapshot{st.rr, st.first_send, st.log};
-    registry_->put(std::move(image));
+    // Staged, not yet visible: a failure during the write (or any member's
+    // write) discards the stage, so restore never sees a torn image or a
+    // group whose members restore from different epochs.
+    registry_->stage(std::move(image));
     co_await checkpointer_->write_image(rank.node(), image_bytes_(rank.id()));
     const sim::Time t_image = eng.now();
 
-    // ---- finalize: wait for the whole group, resume ----
-    co_await group_barrier(rank, epoch, 1);
+    // ---- finalize: wait for the whole group, commit, resume ----
+    const bool committed = co_await group_barrier(rank, epoch, 1);
+    if (committed && is_leader(rank)) {
+      // The leader's barrier path has no suspension between the last ack
+      // and this point: every member has written and staged, and the whole
+      // group's images become visible at one simulated instant — a kill
+      // either lands before (nothing committed) or after (all committed).
+      registry_->commit_group(members, epoch);
+    } else if (!committed) {
+      registry_->discard_staged(rank.id());
+    }
     const sim::Time t_end = eng.now();
 
     CkptRecord rec;
@@ -491,7 +572,10 @@ void GroupProtocol::stage_restore(mpi::Rank& rank,
   st.barrier_acks.clear();
   st.barrier_go.clear();
   st.prepare_replies.clear();
-  st.exchange_replies = 0;
+  st.exchange_pending.clear();
+  st.exchange_deferred.clear();
+  st.serve_procs.clear();   // killed with the previous incarnation
+  st.restore_proc.reset();  // ditto
   st.restoring = true;
   // Capture the restored R table NOW: it is a contiguous prefix of every
   // peer stream. Live traffic can slip in between restore and the exchange
@@ -529,19 +613,29 @@ sim::Co<void> GroupProtocol::run_restore(mpi::Rank& rank) {
   const sim::Time t_loaded = eng.now();
 
   // Volume exchange with every out-of-group process (Algorithm 1 restart).
-  int expected = 0;
+  // Peers whose own group is down (recoveries can overlap) cannot answer;
+  // waiting for them would deadlock queued recoveries against each other.
+  // Their exchange is deferred: restart preparation completes against live
+  // peers only, and the request is re-issued when the dead peer respawns
+  // (rank_started), completing on the daemon path. Nothing is lost in the
+  // meantime — the dead peer cannot send to us anyway, and our re-executed
+  // sends toward it are logged for its eventual replay.
   mpi::Message req;
   req.ctrl = mpi::CtrlKind::kExchangeRequest;
   for (int q = 0; q < rt_->nranks(); ++q) {
     if (groups_.same_group(rank.id(), q)) continue;
-    req.ctrl_data = {st.exchange_r[static_cast<std::size_t>(q)],
-                     rank.sent_to(q).bytes};
-    rt_->send_ctrl(rank.id(), q, req);
-    ++expected;
+    if (rt_->rank(q).alive()) {
+      req.ctrl_data = {st.exchange_r[static_cast<std::size_t>(q)],
+                       rank.sent_to(q).bytes};
+      rt_->send_ctrl(rank.id(), q, req);
+      st.exchange_pending.insert(q);
+    } else {
+      st.exchange_deferred.insert(q);
+    }
   }
   const std::uint64_t repoch = kRestartEpochBase + rank.incarnation();
   co_await wait_event(rank, repoch,
-                      [&st, expected] { return st.exchange_replies >= expected; });
+                      [&st] { return st.exchange_pending.empty(); });
 
   // Wait until all group members finish preparing the restart.
   co_await group_barrier(rank, repoch, 2);
@@ -556,6 +650,9 @@ sim::Co<void> GroupProtocol::run_restore(mpi::Rank& rank) {
   rec.image_read_s = sim::to_seconds(t_loaded - t_begin);
   rec.exchange_s = sim::to_seconds(eng.now() - t_loaded);
   metrics_->restarts.push_back(rec);
+
+  const int g = groups_.group_of(rank.id());
+  if (restore_done_ && !group_restarting(g)) restore_done_(g);
 }
 
 sim::Co<void> GroupProtocol::serve_exchange(mpi::Rank& rank,
@@ -592,14 +689,6 @@ void GroupProtocol::request_group_checkpoint(int group) {
   mpi::Message req;
   req.ctrl = mpi::CtrlKind::kCkptRequest;
   rt_->send_ctrl_from_driver(leader_of(group), req);
-}
-
-bool GroupProtocol::group_in_checkpoint(int group) const {
-  for (mpi::RankId m : groups_.members(group)) {
-    const RankState& st = *states_[static_cast<std::size_t>(m)];
-    if (st.in_checkpoint || st.commit_pending || st.round_open) return true;
-  }
-  return false;
 }
 
 bool GroupProtocol::group_restarting(int group) const {

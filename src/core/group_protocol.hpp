@@ -85,14 +85,13 @@ class GroupProtocol : public mpi::Interposer {
   sim::Co<void> at_safepoint(mpi::Rank& rank) override;
   void rank_started(mpi::Rank& rank) override;
   void rank_finished(mpi::Rank& rank) override;
+  void rank_killed(mpi::Rank& rank) override;
 
   // ---- driver API (the mpirun side) ----
   /// Injects a checkpoint request for one group: a control message from the
   /// driver node to the group leader, which then runs prepare/commit.
   void request_group_checkpoint(int group);
 
-  /// True while any member of the group is inside checkpoint coordination.
-  bool group_in_checkpoint(int group) const;
   /// True while the group is restarting (exchange phase).
   bool group_restarting(int group) const;
 
@@ -100,6 +99,14 @@ class GroupProtocol : public mpi::Interposer {
   /// Before respawn_rank: marks the rank as restoring and installs the
   /// protocol-private state from the image (nullptr = restart from scratch).
   void stage_restore(mpi::Rank& rank, const ckpt::StoredCheckpoint* image);
+
+  /// Invoked (synchronously, from the last member's restore coroutine)
+  /// when a whole group finishes restart preparation. The recovery manager
+  /// uses it to free the group's restore slot; an aborted restore never
+  /// fires it (the coroutines die with the re-killed ranks).
+  void set_restore_done_callback(std::function<void(int group)> fn) {
+    restore_done_ = std::move(fn);
+  }
 
   /// Protocol-private per-rank state stored inside checkpoint images.
   struct StateSnapshot {
@@ -141,7 +148,18 @@ class GroupProtocol : public mpi::Interposer {
     bool from_image = false;
     std::vector<std::int64_t> exchange_r;  ///< restored R prefix per peer
     std::int64_t restore_image_bytes = 0;
-    int exchange_replies = 0;
+    /// Out-of-group peers with an exchange request in flight (alive when
+    /// asked). A peer that dies mid-exchange moves to `exchange_deferred`.
+    std::set<mpi::RankId> exchange_pending;
+    /// Out-of-group peers that were dead when we restarted (overlapping
+    /// recoveries): the request is re-sent when the peer respawns and the
+    /// exchange completes on the daemon path; restart preparation does not
+    /// wait for them (deadlock freedom across queued recoveries).
+    std::set<mpi::RankId> exchange_deferred;
+    /// Auxiliary coroutines acting for this incarnation; killed with the
+    /// rank so they never outlive it into a rolled-back state.
+    sim::ProcPtr restore_proc;
+    std::vector<sim::ProcPtr> serve_procs;
 
     gcr::Rng jitter_rng{0};
   };
@@ -183,6 +201,7 @@ class GroupProtocol : public mpi::Interposer {
   ImageSizeFn image_bytes_;
   Metrics* metrics_;
   GroupProtocolOptions options_;
+  std::function<void(int group)> restore_done_;
   std::vector<std::unique_ptr<RankState>> states_;
 };
 

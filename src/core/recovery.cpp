@@ -1,13 +1,31 @@
 #include "core/recovery.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/log.hpp"
 
 namespace gcr::core {
+namespace {
+
+/// Stream-id namespace for FaultModel substreams, disjoint from the other
+/// cluster seed consumers (0x6A00+r protocol jitter, 0xFA11+g legacy
+/// failure streams) because it passes through mix_seed a second time.
+constexpr std::uint64_t kFaultModelStreamBase = 0xFA17A11ULL;
+
+}  // namespace
 
 RecoveryManager::RecoveryManager(mpi::Runtime& rt, GroupProtocol& protocol,
                                  ckpt::ImageRegistry& registry,
                                  RecoveryOptions options)
-    : rt_(&rt), protocol_(&protocol), registry_(&registry), options_(options) {}
+    : rt_(&rt), protocol_(&protocol), registry_(&registry), options_(options) {
+  GCR_CHECK(options_.max_concurrent_restores >= 1);
+  const std::size_t ngroups =
+      static_cast<std::size_t>(protocol.groups().num_groups());
+  gstate_.assign(ngroups, GroupState::kAlive);
+  protocol_->set_restore_done_callback(
+      [this](int group) { on_restore_done(group); });
+}
 
 void RecoveryManager::fail_group_at(int group, sim::Time t) {
   rt_->engine().call_at(t, [this, group] { fail_group_now(group); });
@@ -17,49 +35,111 @@ void RecoveryManager::fail_rank_at(mpi::RankId rank, sim::Time t) {
   fail_group_at(protocol_->groups().group_of(rank), t);
 }
 
-bool RecoveryManager::anything_busy() const {
-  if (recoveries_in_flight_ > 0) return true;
-  for (int g = 0; g < protocol_->groups().num_groups(); ++g) {
-    if (protocol_->group_restarting(g)) return true;
-  }
-  return false;
+void RecoveryManager::fail_node_at(int node, sim::Time t) {
+  rt_->engine().call_at(t, [this, node] { fail_node_now(node); });
 }
 
-void RecoveryManager::fail_group_now(int group) {
-  if (rt_->job_finished()) return;
-  if (anything_busy() || protocol_->group_in_checkpoint(group)) {
-    // Failures overlapping the target group's own checkpoint or another
-    // recovery are deferred (serialized recovery; see header). Killing a
-    // rank while a peer's restorer is mid-exchange with it would strand the
-    // peer (dropped control traffic), so the whole kill->resume window is
-    // exclusive.
-    rt_->engine().call_after(sim::from_seconds(options_.busy_retry_s),
-                             [this, group] { fail_group_now(group); });
-    return;
-  }
-  ++failures_;
-  ++recoveries_in_flight_;
-  const auto members = protocol_->groups().members(group);
+void RecoveryManager::fail_node_now(int node) {
+  // One rank per node (mpi::Runtime's placement); nodes beyond the rank
+  // range (the driver node) have nothing to kill.
+  if (node < 0 || node >= rt_->nranks()) return;
+  fail_group_now(protocol_->groups().group_of(node));
+}
+
+void RecoveryManager::kill_members(int group) {
+  const auto& members = protocol_->groups().members(group);
   GCR_INFO("injecting failure of group %d (%zu ranks) at t=%.3fs", group,
            members.size(), sim::to_seconds(rt_->engine().now()));
   for (mpi::RankId r : members) {
     rt_->kill_rank(rt_->rank(r));
   }
-  const sim::Time delay =
-      sim::from_seconds(options_.detect_s + options_.relaunch_s);
-  rt_->engine().call_after(delay, [this, members, group] {
-    restore_ranks(members);
-    poll_recovery_done(group);
-  });
 }
 
-void RecoveryManager::poll_recovery_done(int group) {
-  if (protocol_->group_restarting(group)) {
-    rt_->engine().call_after(sim::from_seconds(options_.busy_retry_s),
-                             [this, group] { poll_recovery_done(group); });
+void RecoveryManager::fail_group_now(int group) {
+  if (rt_->job_finished()) return;
+  auto& st = gstate_[static_cast<std::size_t>(group)];
+  switch (st) {
+    case GroupState::kDown:
+      // The group is already dead and queued; a node cannot die twice.
+      ++absorbed_;
+      return;
+    case GroupState::kRestoring:
+      // Re-failure mid-restart: abort the restore in flight (the restore
+      // and exchange-server coroutines die via Interposer::rank_killed, so
+      // its completion callback never fires) and queue a fresh recovery.
+      ++failures_;
+      ++aborted_;
+      --restores_in_flight_;
+      kill_members(group);
+      st = GroupState::kDown;
+      enqueue_restore(group);
+      maybe_start_restores();  // the aborted restore freed a slot
+      return;
+    case GroupState::kAlive: {
+      // A fault on nodes whose processes have ALL already exited does not
+      // affect the job (a run is complete once every rank ran to the end);
+      // there is nothing to kill or recover. A partially finished group is
+      // still killed whole — its finished members roll back and re-execute
+      // with the rest of the group.
+      bool all_finished = true;
+      for (mpi::RankId r : protocol_->groups().members(group)) {
+        if (!rt_->rank(r).finished()) {
+          all_finished = false;
+          break;
+        }
+      }
+      if (all_finished) return;
+      // The kill is immediate even if the group is mid-checkpoint — the
+      // round dies with the processes and the group's staged images are
+      // discarded (rank_killed), so restore sees the previous epoch.
+      ++failures_;
+      kill_members(group);
+      st = GroupState::kDown;
+      enqueue_restore(group);
+      maybe_start_restores();
+      return;
+    }
+  }
+}
+
+void RecoveryManager::enqueue_restore(int group) {
+  const sim::Time ready =
+      rt_->engine().now() +
+      sim::from_seconds(options_.detect_s + options_.relaunch_s);
+  queue_.push_back({ready, group});
+}
+
+void RecoveryManager::maybe_start_restores() {
+  while (restores_in_flight_ < options_.max_concurrent_restores &&
+         !queue_.empty()) {
+    const PendingRestore next = queue_.front();
+    if (next.ready_at > rt_->engine().now()) {
+      // Head not ready: try again when it is. Spurious wakeups (several
+      // timers armed over time) are harmless — the conditions re-check.
+      rt_->engine().call_at(next.ready_at, [this] { maybe_start_restores(); });
+      return;
+    }
+    queue_.pop_front();
+    start_restore(next.group);
+  }
+}
+
+void RecoveryManager::start_restore(int group) {
+  gstate_[static_cast<std::size_t>(group)] = GroupState::kRestoring;
+  ++restores_in_flight_;
+  restore_ranks(protocol_->groups().members(group));
+}
+
+void RecoveryManager::on_restore_done(int group) {
+  // Whole-application restarts (restart_all_at) also run the restore path
+  // but never enter the queue; ignore their completions.
+  if (gstate_[static_cast<std::size_t>(group)] != GroupState::kRestoring) {
     return;
   }
-  --recoveries_in_flight_;
+  gstate_[static_cast<std::size_t>(group)] = GroupState::kAlive;
+  ++completed_;
+  --restores_in_flight_;
+  maybe_start_restores();
 }
 
 void RecoveryManager::arm_random_failures(const std::vector<double>& mtbf_s) {
@@ -84,6 +164,31 @@ void RecoveryManager::schedule_next_random_failure(int group, double mtbf_s) {
     if (rt_->job_finished()) return;
     fail_group_now(group);
     schedule_next_random_failure(group, mtbf_s);
+  });
+}
+
+void RecoveryManager::arm_fault_model(std::unique_ptr<sim::FaultModel> model) {
+  GCR_CHECK(model != nullptr);
+  GCR_CHECK_MSG(fault_model_ == nullptr, "a fault model is already armed");
+  fault_model_ = std::move(model);
+  const sim::Cluster* cluster = &rt_->cluster();
+  fault_model_->bind(rt_->nranks(), [cluster](std::uint64_t stream) {
+    return cluster->make_rng(mix_seed(kFaultModelStreamBase, stream));
+  });
+  schedule_next_model_event();
+}
+
+void RecoveryManager::schedule_next_model_event() {
+  const std::optional<sim::FaultEvent> ev = fault_model_->next();
+  if (!ev.has_value()) return;
+  GCR_CHECK(ev->at_s >= 0);
+  // Clamp to now: a schedule may start before the arming time.
+  const sim::Time at =
+      std::max(sim::from_seconds(ev->at_s), rt_->engine().now());
+  rt_->engine().call_at(at, [this, node = ev->node] {
+    if (rt_->job_finished()) return;
+    fail_node_now(node);
+    schedule_next_model_event();
   });
 }
 

@@ -6,27 +6,45 @@
 // (or from scratch) and re-enters execution through the protocol's restart
 // procedure (volume exchange + replay). Non-failed groups keep running.
 //
-// `restart_all_at` implements the paper's restart experiment: the entire
-// application is brought down and restarted from the stored images, and the
-// per-process restart-preparation time is measured.
+// Failures are injected either directly (fail_group_at / fail_node_at,
+// whole-app restart via restart_all_at), through the legacy per-group
+// exponential streams (arm_random_failures), or through a pluggable
+// node-level FaultModel (sim/faults.hpp) whose node faults map to the
+// group hosting that node's rank.
 //
-// Restarts are serialized: a failure arriving while another group is
-// checkpointing or restarting is retried shortly after (documented
-// limitation; the paper evaluates single-failure scenarios).
+// Concurrent failures are handled with a recovery QUEUE, not rejection:
+// a failure always kills its group immediately (the physical event is never
+// deferred — a fault mid-checkpoint aborts the round and discards the
+// group's staged images; a fault mid-restart aborts that restart). The
+// group then becomes ready to restore after detect+relaunch, and restores
+// run at most `max_concurrent_restores` at a time in failure order. The
+// protocol's deferred-exchange path (core/group_protocol.cpp) keeps a
+// restoring group from blocking on a peer group that is itself down, so
+// queued recoveries never deadlock.
+//
+// Bookkeeping invariant (asserted by tests/fault_torture_test.cpp): once a
+// run completes, failures_injected == recoveries_completed +
+// recoveries_aborted, and recoveries_outstanding() == 0.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
 
 #include "ckpt/image.hpp"
 #include "core/group_protocol.hpp"
 #include "mpi/runtime.hpp"
+#include "sim/faults.hpp"
 
 namespace gcr::core {
 
 struct RecoveryOptions {
-  double detect_s = 1.0;         ///< failure detection latency
-  double relaunch_s = 1.0;       ///< process recreation (fork/exec, rejoin)
-  double busy_retry_s = 0.5;     ///< retry delay when a restart must wait
+  double detect_s = 1.0;    ///< failure detection latency
+  double relaunch_s = 1.0;  ///< process recreation (fork/exec, rejoin)
+  /// Restore windows running at once. 1 (default, the paper's setting)
+  /// serializes the restore phase itself; kills are never serialized.
+  int max_concurrent_restores = 1;
 };
 
 class RecoveryManager {
@@ -40,6 +58,11 @@ class RecoveryManager {
   /// Schedules a failure of the group containing `rank`.
   void fail_rank_at(mpi::RankId rank, sim::Time t);
 
+  /// Schedules a node fault at time `t`: kills the group containing the
+  /// rank hosted on `node` (one rank per node). Faults on rankless nodes
+  /// (the driver) are ignored.
+  void fail_node_at(int node, sim::Time t);
+
   /// Schedules a whole-application restart (kill everything, restore from
   /// the stored images) at time `t`.
   void restart_all_at(sim::Time t);
@@ -47,27 +70,70 @@ class RecoveryManager {
   /// Arms random failures: group g fails with exponential inter-arrival
   /// times of mean `mtbf_s[g]` (0 or negative = that group never fails),
   /// drawn from a deterministic per-group substream of the cluster seed.
-  /// Arrivals continue until the job finishes.
+  /// Arrivals continue until the job finishes. (Legacy group-level model;
+  /// kept bit-compatible. New work should use arm_fault_model.)
   void arm_random_failures(const std::vector<double>& mtbf_s);
 
+  /// Arms a pluggable node-fault model: events are pulled one at a time
+  /// (so infinite renewal models are fine) and injected via the node→group
+  /// mapping until the job finishes or the model is exhausted. The model
+  /// is bound to this runtime's rank-bearing nodes and to substreams of
+  /// the cluster seed.
+  void arm_fault_model(std::unique_ptr<sim::FaultModel> model);
+
+  /// Failures that killed a live (or restoring) group.
   int failures_injected() const { return failures_; }
+  /// Fault arrivals absorbed because the target group was already down.
+  int failures_absorbed() const { return absorbed_; }
+  /// Restores that ran to completion (group back in normal execution).
+  int recoveries_completed() const { return completed_; }
+  /// Restores aborted by a re-failure of the restoring group.
+  int recoveries_aborted() const { return aborted_; }
+  /// Groups currently down or restoring.
+  int recoveries_outstanding() const {
+    return failures_ - completed_ - aborted_;
+  }
 
  private:
+  enum class GroupState : std::uint8_t { kAlive, kDown, kRestoring };
+
+  struct PendingRestore {
+    sim::Time ready_at;  ///< kill time + detect + relaunch
+    int group;
+  };
+
   void fail_group_now(int group);
+  void fail_node_now(int node);
+  void kill_members(int group);
+  void enqueue_restore(int group);
+  /// Starts queued restores while slots are free and heads are ready;
+  /// re-arms itself for a not-yet-ready head. Idempotent.
+  void maybe_start_restores();
+  void start_restore(int group);
   void restore_ranks(const std::vector<mpi::RankId>& ranks);
-  void poll_recovery_done(int group);
+  /// Protocol callback: the group's restart preparation completed.
+  void on_restore_done(int group);
   void schedule_next_random_failure(int group, double mtbf_s);
-  bool anything_busy() const;
+  void schedule_next_model_event();
 
   mpi::Runtime* rt_;
   GroupProtocol* protocol_;
   ckpt::ImageRegistry* registry_;
   RecoveryOptions options_;
+
   int failures_ = 0;
-  // One recovery at a time: covers the whole kill -> restore -> resume
-  // window so exchange partners are never dead when contacted.
-  int recoveries_in_flight_ = 0;
-  std::vector<gcr::Rng> failure_rngs_;  ///< per-group arrival streams
+  int absorbed_ = 0;
+  int completed_ = 0;
+  int aborted_ = 0;
+
+  std::vector<GroupState> gstate_;
+  /// FIFO of groups awaiting a restore slot. detect+relaunch is constant,
+  /// so failure order == ready order and a deque suffices.
+  std::deque<PendingRestore> queue_;
+  int restores_in_flight_ = 0;
+
+  std::vector<gcr::Rng> failure_rngs_;  ///< legacy per-group arrival streams
+  std::unique_ptr<sim::FaultModel> fault_model_;
 };
 
 }  // namespace gcr::core

@@ -75,8 +75,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     if (!config.random_failure_mtbf_s.empty()) {
       recovery->arm_random_failures(config.random_failure_mtbf_s);
     }
+    if (config.fault_model.kind != sim::FaultModelKind::kNone) {
+      recovery->arm_fault_model(sim::make_fault_model(config.fault_model));
+    }
   } else {
-    GCR_CHECK_MSG(config.failures.empty() && !config.restart_after_finish,
+    GCR_CHECK_MSG(config.failures.empty() && !config.restart_after_finish &&
+                      config.fault_model.kind == sim::FaultModelKind::kNone,
                   "VCL restart/failures are not supported (see DESIGN.md §8)");
     vcl_protocol = std::make_unique<core::VclProtocol>(
         runtime, checkpointer, spec.image_bytes, metrics);
@@ -102,6 +106,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.app_messages = runtime.app_messages_sent();
   result.app_bytes = runtime.app_bytes_sent();
   result.failures_injected = recovery ? recovery->failures_injected() : 0;
+  result.failures_absorbed = recovery ? recovery->failures_absorbed() : 0;
+  result.recoveries_completed = recovery ? recovery->recoveries_completed() : 0;
+  result.recoveries_aborted = recovery ? recovery->recoveries_aborted() : 0;
 
   if (result.finished && config.restart_after_finish && recovery) {
     const std::size_t before = metrics.restarts.size();

@@ -67,8 +67,13 @@ struct ExperimentConfig {
   // Failure injection (group protocol only).
   std::vector<FailurePlan> failures;
   // Non-empty: random failures, one MTBF per group (seconds; <=0 = group
-  // never fails), exponential arrivals until the job completes.
+  // never fails), exponential arrivals until the job completes. (Legacy
+  // group-level model; prefer `fault_model`.)
   std::vector<double> random_failure_mtbf_s;
+  // kind != kNone: pluggable node-fault model (sim/faults.hpp) — node
+  // faults map to the group hosting that node's rank; concurrent failures
+  // queue recoveries (core/recovery.hpp). Composable with `failures`.
+  sim::FaultModelParams fault_model;
   core::RecoveryOptions recovery{};
 
   // The paper's restart experiment: after the job finishes, restart the
@@ -90,6 +95,9 @@ struct ExperimentResult {
   std::int64_t app_bytes = 0;
   int checkpoints_completed = 0;
   int failures_injected = 0;
+  int failures_absorbed = 0;     ///< arrivals while the group was already down
+  int recoveries_completed = 0;  ///< restores that ran to completion
+  int recoveries_aborted = 0;    ///< restores re-killed mid-flight
   bool finished = false;  ///< false if the watchdog tripped
 
   /// Restart-experiment aggregates (valid when restart_after_finish).

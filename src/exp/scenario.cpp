@@ -27,6 +27,20 @@ SweepAxis SweepAxis::indices(std::string name, std::size_t count) {
   return axis;
 }
 
+SweepAxis fault_kind_axis(const std::vector<sim::FaultModelKind>& kinds) {
+  SweepAxis axis;
+  axis.name = "fault_kind";
+  axis.values.reserve(kinds.size());
+  for (sim::FaultModelKind k : kinds) {
+    axis.values.push_back(static_cast<double>(static_cast<int>(k)));
+  }
+  return axis;
+}
+
+sim::FaultModelKind fault_kind_at(const SweepPoint& point) {
+  return static_cast<sim::FaultModelKind>(point.get_int("fault_kind"));
+}
+
 double SweepPoint::get(const std::string& axis) const {
   for (const auto& [name, value] : values) {
     if (name == axis) return value;

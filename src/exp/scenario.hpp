@@ -45,6 +45,13 @@ struct SweepPoint {
   std::int64_t get_int(const std::string& axis) const;
 };
 
+/// Axis named "fault_kind" over fault models (values are the enum, so
+/// points round-trip through `fault_kind_at`). Model shape parameters
+/// (weibull shape, burst size, MTBF) sweep as ordinary `reals`/`ints` axes
+/// that the bench folds into its FaultModelParams.
+SweepAxis fault_kind_axis(const std::vector<sim::FaultModelKind>& kinds);
+sim::FaultModelKind fault_kind_at(const SweepPoint& point);
+
 /// What one job contributes to its cell's aggregates. The campaign runner
 /// folds collectors cell-by-cell in job-index order, which keeps every
 /// aggregate bit-identical for any worker count.

@@ -55,6 +55,13 @@ class Interposer {
 
   /// Called when the app coroutine of a rank finishes normally.
   virtual void rank_finished(Rank& rank) { (void)rank; }
+
+  /// Called after a rank is killed (failure injection), once its app and
+  /// daemon coroutines are down. The protocol must stop any auxiliary
+  /// coroutines still acting for the dead incarnation (restore drivers,
+  /// exchange servers), roll back uncommitted checkpoint state, and unblock
+  /// peers waiting on the dead rank. Non-blocking.
+  virtual void rank_killed(Rank& rank) { (void)rank; }
 };
 
 }  // namespace gcr::mpi

@@ -468,6 +468,7 @@ void Runtime::kill_rank(Rank& rank) {
   if (rank.daemon_proc_ && rank.daemon_proc_->alive()) {
     engine().kill(*rank.daemon_proc_);
   }
+  if (protocol_) protocol_->rank_killed(rank);
 }
 
 void Runtime::begin_restart(Rank& rank) {

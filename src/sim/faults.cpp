@@ -1,0 +1,253 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <queue>
+#include <sstream>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace gcr::sim {
+namespace {
+
+/// Min-heap ordering by (time, node): node breaks time ties so the event
+/// order is independent of heap internals.
+struct LaterEvent {
+  bool operator()(const FaultEvent& a, const FaultEvent& b) const {
+    return a.at_s > b.at_s || (a.at_s == b.at_s && a.node > b.node);
+  }
+};
+
+using EventHeap =
+    std::priority_queue<FaultEvent, std::vector<FaultEvent>, LaterEvent>;
+
+/// Independent per-node renewal processes; Weibull inter-arrivals with
+/// shape 1 degenerate to exponential. The scale is derived so `mtbf_s` is
+/// the actual mean inter-arrival: scale = mtbf / Gamma(1 + 1/shape).
+class RenewalFaultModel : public FaultModel {
+ public:
+  RenewalFaultModel(FaultModelKind kind, double mtbf_s, double shape)
+      : kind_(kind), shape_(shape) {
+    GCR_CHECK_MSG(mtbf_s > 0, "fault model: mtbf_s must be positive");
+    GCR_CHECK_MSG(shape > 0, "fault model: weibull_shape must be positive");
+    scale_ = mtbf_s / std::tgamma(1.0 + 1.0 / shape);
+  }
+
+  const char* name() const override { return fault_model_name(kind_); }
+
+  void bind(int num_nodes,
+            const std::function<Rng(std::uint64_t)>& rng_for) override {
+    GCR_CHECK(num_nodes > 0 && rngs_.empty());
+    rngs_.reserve(static_cast<std::size_t>(num_nodes));
+    for (int n = 0; n < num_nodes; ++n) {
+      rngs_.push_back(rng_for(static_cast<std::uint64_t>(n)));
+      heap_.push({draw_wait(rngs_.back()), n});
+    }
+  }
+
+  std::optional<FaultEvent> next() override {
+    GCR_CHECK_MSG(!rngs_.empty(), "FaultModel::bind was never called");
+    FaultEvent ev = heap_.top();
+    heap_.pop();
+    Rng& rng = rngs_[static_cast<std::size_t>(ev.node)];
+    heap_.push({ev.at_s + draw_wait(rng), ev.node});
+    return ev;
+  }
+
+ private:
+  double draw_wait(Rng& rng) {
+    // Weibull inverse CDF: scale * (-ln U)^(1/shape). With shape == 1 this
+    // is exactly Rng::next_exponential's formula, so the exponential model
+    // shares the code path bit-for-bit.
+    double u = rng.next_double();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return scale_ * std::pow(-std::log(u), 1.0 / shape_);
+  }
+
+  FaultModelKind kind_;
+  double shape_;
+  double scale_;
+  std::vector<Rng> rngs_;
+  EventHeap heap_;
+};
+
+/// Spatially correlated bursts: a single cluster-wide Poisson process of
+/// burst events; each burst picks a uniform origin node and a uniform size
+/// in 1..burst_max_nodes and takes down the run of adjacent nodes
+/// [origin, origin+size) (clamped at the machine edge), spread over
+/// burst_spread_s. The origin dies at the burst instant; companions follow
+/// at uniform offsets within the window, so recoveries genuinely overlap.
+class BurstFaultModel : public FaultModel {
+ public:
+  BurstFaultModel(double burst_mtbf_s, int burst_max_nodes, double spread_s)
+      : burst_mtbf_s_(burst_mtbf_s), burst_max_nodes_(burst_max_nodes),
+        spread_s_(spread_s) {
+    GCR_CHECK_MSG(burst_mtbf_s > 0,
+                  "fault model: burst_mtbf_s must be positive");
+    GCR_CHECK_MSG(burst_max_nodes >= 1,
+                  "fault model: burst_max_nodes must be >= 1");
+    GCR_CHECK_MSG(spread_s >= 0, "fault model: burst_spread_s must be >= 0");
+  }
+
+  const char* name() const override {
+    return fault_model_name(FaultModelKind::kBurst);
+  }
+
+  void bind(int num_nodes,
+            const std::function<Rng(std::uint64_t)>& rng_for) override {
+    GCR_CHECK(num_nodes > 0 && num_nodes_ == 0);
+    num_nodes_ = num_nodes;
+    // Stream id num_nodes: disjoint from the per-node id convention so a
+    // future hybrid model can combine both without stream collisions.
+    rng_ = rng_for(static_cast<std::uint64_t>(num_nodes));
+    next_burst_at_ = rng_.next_exponential(burst_mtbf_s_);
+  }
+
+  std::optional<FaultEvent> next() override {
+    GCR_CHECK_MSG(num_nodes_ > 0, "FaultModel::bind was never called");
+    // A burst at time T only produces events at >= T, so the buffer head is
+    // final once the next burst arrival lies beyond it.
+    while (buffer_.empty() || next_burst_at_ <= buffer_.top().at_s) {
+      expand_burst(next_burst_at_);
+      next_burst_at_ += rng_.next_exponential(burst_mtbf_s_);
+    }
+    FaultEvent ev = buffer_.top();
+    buffer_.pop();
+    return ev;
+  }
+
+ private:
+  void expand_burst(double at_s) {
+    const int origin = static_cast<int>(
+        rng_.next_below(static_cast<std::uint64_t>(num_nodes_)));
+    const int size = static_cast<int>(
+        1 + rng_.next_below(static_cast<std::uint64_t>(burst_max_nodes_)));
+    for (int i = 0; i < size && origin + i < num_nodes_; ++i) {
+      const double offset = i == 0 ? 0.0 : rng_.next_double() * spread_s_;
+      buffer_.push({at_s + offset, origin + i});
+    }
+  }
+
+  double burst_mtbf_s_;
+  int burst_max_nodes_;
+  double spread_s_;
+  int num_nodes_ = 0;
+  Rng rng_{0};
+  double next_burst_at_ = 0;
+  EventHeap buffer_;
+};
+
+/// Replays an explicit schedule. Faults targeting nodes outside the bound
+/// machine are dropped at bind (a trace from a bigger cluster shrinks).
+class TraceFaultModel : public FaultModel {
+ public:
+  explicit TraceFaultModel(std::vector<FaultEvent> schedule)
+      : schedule_(std::move(schedule)) {
+    GCR_CHECK_MSG(!schedule_.empty(),
+                  "fault model: trace schedule is empty (no schedule given "
+                  "and no trace_path set?)");
+    std::stable_sort(schedule_.begin(), schedule_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.at_s < b.at_s;
+                     });
+  }
+
+  const char* name() const override {
+    return fault_model_name(FaultModelKind::kTrace);
+  }
+
+  void bind(int num_nodes,
+            const std::function<Rng(std::uint64_t)>& rng_for) override {
+    (void)rng_for;  // replay is deterministic by construction
+    GCR_CHECK(num_nodes > 0);
+    schedule_.erase(std::remove_if(schedule_.begin(), schedule_.end(),
+                                   [num_nodes](const FaultEvent& ev) {
+                                     return ev.node < 0 ||
+                                            ev.node >= num_nodes;
+                                   }),
+                    schedule_.end());
+  }
+
+  std::optional<FaultEvent> next() override {
+    if (pos_ >= schedule_.size()) return std::nullopt;
+    return schedule_[pos_++];
+  }
+
+ private:
+  std::vector<FaultEvent> schedule_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* fault_model_name(FaultModelKind kind) {
+  switch (kind) {
+    case FaultModelKind::kNone: return "none";
+    case FaultModelKind::kExponential: return "exp";
+    case FaultModelKind::kWeibull: return "weibull";
+    case FaultModelKind::kBurst: return "burst";
+    case FaultModelKind::kTrace: return "trace";
+  }
+  return "?";
+}
+
+std::unique_ptr<FaultModel> make_fault_model(const FaultModelParams& params) {
+  switch (params.kind) {
+    case FaultModelKind::kNone:
+      return nullptr;
+    case FaultModelKind::kExponential:
+      return std::make_unique<RenewalFaultModel>(FaultModelKind::kExponential,
+                                                 params.mtbf_s, 1.0);
+    case FaultModelKind::kWeibull:
+      return std::make_unique<RenewalFaultModel>(
+          FaultModelKind::kWeibull, params.mtbf_s, params.weibull_shape);
+    case FaultModelKind::kBurst:
+      return std::make_unique<BurstFaultModel>(
+          params.burst_mtbf_s, params.burst_max_nodes, params.burst_spread_s);
+    case FaultModelKind::kTrace:
+      return std::make_unique<TraceFaultModel>(
+          !params.schedule.empty() ? params.schedule
+                                   : load_fault_trace(params.trace_path));
+  }
+  GCR_CHECK_MSG(false, "unknown fault model kind");
+  return nullptr;  // unreachable
+}
+
+std::vector<FaultEvent> parse_fault_trace(std::istream& in) {
+  std::vector<FaultEvent> events;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream fields(line);
+    FaultEvent ev;
+    std::string trailing;
+    // Anything non-blank must parse fully: a typo'd line silently dropped
+    // would make the experiment run a different fault history than the
+    // file says.
+    const bool ok = static_cast<bool>(fields >> ev.at_s >> ev.node) &&
+                    !(fields >> trailing) && ev.at_s >= 0;
+    if (!ok) {
+      GCR_CHECK_MSG(false, ("fault trace line " + std::to_string(lineno) +
+                            ": expected \"time_s node\"")
+                               .c_str());
+    }
+    events.push_back(ev);
+  }
+  return events;
+}
+
+std::vector<FaultEvent> load_fault_trace(const std::string& path) {
+  std::ifstream in(path);
+  GCR_CHECK_MSG(in.good(),
+                ("cannot open fault trace: " + path).c_str());
+  return parse_fault_trace(in);
+}
+
+}  // namespace gcr::sim

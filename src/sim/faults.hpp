@@ -1,0 +1,98 @@
+// Pluggable node-fault models (DESIGN.md §9).
+//
+// A FaultModel is a deterministic generator of node-level fault events: a
+// stream of (time, node) pairs in nondecreasing time order, drawn from
+// seeded substreams so one run seed gives one fault history regardless of
+// what else the simulation does. The recovery layer (core/recovery.hpp)
+// maps each node fault to the checkpoint group hosting that node's rank and
+// drives the kill/restore machinery; this layer knows nothing about groups
+// or protocols.
+//
+// Built-in models:
+//   * exponential — independent per-node Poisson processes (the classic
+//     memoryless MTBF model; what most checkpoint-interval theory assumes);
+//   * weibull     — per-node renewal process with Weibull inter-arrivals.
+//     shape < 1 reproduces the infant-mortality/bursty hazard measured in
+//     real HPC failure traces; shape > 1 models wear-out; shape == 1 is
+//     exponential;
+//   * burst       — spatially correlated failures: cluster-wide burst
+//     arrivals, each taking down a run of adjacent nodes within a short
+//     window (switch/PDU/rack faults — many groups can be down at once);
+//   * trace       — replay of an explicit schedule, inline or parsed from a
+//     file of "time_s node" lines (real failure logs, directed tests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gcr::sim {
+
+/// One node failure: the node dies at `at_s` (seconds of simulated time).
+struct FaultEvent {
+  double at_s = 0;
+  int node = 0;
+};
+
+enum class FaultModelKind { kNone, kExponential, kWeibull, kBurst, kTrace };
+
+/// Stable short name ("exp", "weibull", "burst", "trace") for tables/CSV.
+const char* fault_model_name(FaultModelKind kind);
+
+/// Construction parameters for the built-in models. Only the fields of the
+/// selected `kind` are read; everything is sweepable as a scenario axis.
+struct FaultModelParams {
+  FaultModelKind kind = FaultModelKind::kNone;
+
+  // kExponential / kWeibull: per-node renewal processes.
+  double mtbf_s = 3600.0;      ///< mean time between failures of ONE node
+  double weibull_shape = 0.7;  ///< <1 bursty hazard, 1 = exponential, >1 wear-out
+
+  // kBurst: cluster-wide burst arrivals hitting adjacent nodes.
+  double burst_mtbf_s = 3600.0;  ///< mean time between burst events
+  int burst_max_nodes = 4;       ///< burst size is uniform in 1..max
+  double burst_spread_s = 0.25;  ///< window over which one burst's kills land
+
+  // kTrace: explicit schedule. `schedule` wins if non-empty; otherwise
+  // `trace_path` is loaded at model construction.
+  std::vector<FaultEvent> schedule;
+  std::string trace_path;
+};
+
+/// Generator interface. bind() is called exactly once before the first
+/// next(); `rng_for` returns a deterministic Rng substream per stream id
+/// (models use ids 0..num_nodes-1 for per-node processes and ids >=
+/// num_nodes for shared processes, so streams never collide).
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  virtual const char* name() const = 0;
+  virtual void bind(int num_nodes,
+                    const std::function<Rng(std::uint64_t)>& rng_for) = 0;
+
+  /// Next fault event; times are nondecreasing across calls. nullopt once
+  /// the stream is exhausted (renewal models never exhaust — the consumer
+  /// stops pulling when the job finishes).
+  virtual std::optional<FaultEvent> next() = 0;
+};
+
+/// Builds the model described by `params`; nullptr for kNone. Aborts on
+/// invalid parameters (non-positive scales, empty trace).
+std::unique_ptr<FaultModel> make_fault_model(const FaultModelParams& params);
+
+/// Parses a fault trace: one "time_s node" pair per line, '#' starts a
+/// comment, blank lines ignored. Aborts on malformed input. The result is
+/// NOT sorted — make_fault_model sorts its copy.
+std::vector<FaultEvent> parse_fault_trace(std::istream& in);
+
+/// parse_fault_trace on the contents of `path`; aborts if unreadable.
+std::vector<FaultEvent> load_fault_trace(const std::string& path);
+
+}  // namespace gcr::sim

@@ -89,6 +89,46 @@ TEST(ImageRegistry, LatestWinsPerRank) {
   EXPECT_EQ(reg.latest(0), nullptr);
 }
 
+TEST(ImageRegistry, StagedImagesInvisibleUntilGroupCommit) {
+  ckpt::ImageRegistry reg;
+  auto staged = [](mpi::RankId rank, std::uint64_t epoch) {
+    ckpt::StoredCheckpoint img;
+    img.meta.rank = rank;
+    img.meta.epoch = epoch;
+    return img;
+  };
+  reg.put(staged(0, 1));  // a committed earlier epoch
+  reg.stage(staged(0, 2));
+  reg.stage(staged(1, 2));
+  EXPECT_TRUE(reg.has_staged(0));
+  EXPECT_TRUE(reg.has_staged(1));
+  // Staged images are invisible to restore until the group commits.
+  EXPECT_EQ(reg.latest(0)->meta.epoch, 1u);
+  EXPECT_EQ(reg.latest(1), nullptr);
+  reg.commit_group({0, 1}, 2);
+  EXPECT_FALSE(reg.has_staged(0));
+  EXPECT_EQ(reg.latest(0)->meta.epoch, 2u);
+  EXPECT_EQ(reg.latest(1)->meta.epoch, 2u);
+}
+
+TEST(ImageRegistry, DiscardStagedRollsBackToPreviousEpoch) {
+  ckpt::ImageRegistry reg;
+  ckpt::StoredCheckpoint committed;
+  committed.meta.rank = 3;
+  committed.meta.epoch = 5;
+  reg.put(std::move(committed));
+  ckpt::StoredCheckpoint next;
+  next.meta.rank = 3;
+  next.meta.epoch = 6;
+  reg.stage(std::move(next));
+  // A failure before commit discards the stage (Interposer::rank_killed);
+  // restore sees the previous epoch, never the torn image.
+  reg.discard_staged(3);
+  EXPECT_FALSE(reg.has_staged(3));
+  EXPECT_EQ(reg.latest(3)->meta.epoch, 5u);
+  reg.discard_staged(3);  // idempotent
+}
+
 TEST(Metrics, AggregatesSumPhases) {
   core::Metrics m;
   core::CkptRecord r;

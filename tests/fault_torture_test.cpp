@@ -1,0 +1,196 @@
+// Randomized protocol-torture harness (ISSUE 4): N seeds x random fault
+// schedules from every fault-model family against small CG/SP runs.
+//
+// Each seed draws a random grouping, checkpoint schedule, recovery options
+// (including the concurrent-restore-slot count), and fault model, then
+// asserts the protocol-level invariants:
+//   * the job completes (no rank left suspended: job_finished requires
+//     every app coroutine to return, and the run would otherwise hit the
+//     watchdog and report finished == false);
+//   * recovery bookkeeping settles: failures_injected ==
+//     recoveries_completed + recoveries_aborted (nothing dropped mid-way),
+//     and restart records are consistent with the group sizes;
+//   * reruns with the same seed are byte-identical (every double compared
+//     exactly, not approximately).
+// On top of that, every consume inside the run passes the runtime's
+// sequence/checksum verification, so loss, duplication, or reordering
+// anywhere in the kill/queue/defer/replay machinery aborts the test.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/cg.hpp"
+#include "apps/sp.hpp"
+#include "exp/experiment.hpp"
+#include "group/strategies.hpp"
+#include "sim/faults.hpp"
+#include "util/rng.hpp"
+
+namespace gcr::exp {
+namespace {
+
+struct RunSummary {
+  double exec_time_s;
+  int failures_injected;
+  int failures_absorbed;
+  int recoveries_completed;
+  int recoveries_aborted;
+  int checkpoints_completed;
+  std::size_t restart_records;
+  std::size_t ckpt_records;
+  std::int64_t app_messages;
+  std::int64_t app_bytes;
+  std::int64_t logged_bytes;
+  std::int64_t resend_messages;
+  std::int64_t resend_bytes;
+  double last_restart_end;
+
+  bool operator==(const RunSummary&) const = default;
+};
+
+RunSummary summarize(const ExperimentResult& res) {
+  RunSummary s{};
+  s.exec_time_s = res.exec_time_s;
+  s.failures_injected = res.failures_injected;
+  s.failures_absorbed = res.failures_absorbed;
+  s.recoveries_completed = res.recoveries_completed;
+  s.recoveries_aborted = res.recoveries_aborted;
+  s.checkpoints_completed = res.checkpoints_completed;
+  s.restart_records = res.metrics.restarts.size();
+  s.ckpt_records = res.metrics.ckpts.size();
+  s.app_messages = res.app_messages;
+  s.app_bytes = res.app_bytes;
+  s.logged_bytes = res.metrics.logged_bytes;
+  s.resend_messages = res.metrics.resend_messages;
+  s.resend_bytes = res.metrics.resend_bytes;
+  s.last_restart_end = res.metrics.restarts.empty()
+                           ? 0.0
+                           : sim::to_seconds(res.metrics.restarts.back().end);
+  return s;
+}
+
+/// Small CG (8 ranks, ~1 s fault-free) or SP (9 ranks, ~1.6 s fault-free).
+ExperimentConfig torture_config(std::uint64_t seed) {
+  gcr::Rng rng(mix_seed(0x70127053, seed));
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  if (seed % 2 == 0) {
+    apps::CgParams p;
+    p.na = 8000;
+    p.nonzer = 4;
+    p.outer_iters = 8;
+    p.inner_steps = 6;
+    cfg.app = [p](int n) { return apps::make_cg(n, p); };
+    cfg.nranks = 8;  // power of two (NPB)
+    const int choices[] = {1, 2, 4, 8};
+    cfg.groups = group::make_round_robin(
+        8, choices[rng.next_below(4)]);
+  } else {
+    apps::SpParams p;
+    p.grid_points = 40;
+    p.niter = 24;
+    p.modeled_iters = 12;
+    cfg.app = [p](int n) { return apps::make_sp(n, p); };
+    cfg.nranks = 9;  // perfect square (NPB)
+    const int choices[] = {1, 3, 9};
+    cfg.groups = group::make_round_robin(9, choices[rng.next_below(3)]);
+  }
+
+  cfg.checkpoints = true;
+  cfg.schedule.first_at_s = 0.05 + rng.next_double() * 0.15;
+  cfg.schedule.interval_s = 0.2 + rng.next_double() * 0.3;
+  cfg.schedule.round_spread_s = rng.next_double() * 0.08;
+
+  cfg.recovery.detect_s = 0.05 + rng.next_double() * 0.15;
+  cfg.recovery.relaunch_s = 0.05 + rng.next_double() * 0.15;
+  cfg.recovery.max_concurrent_restores =
+      1 + static_cast<int>(rng.next_below(2));
+
+  // Aggressive fault pressure: several expected failures per run, with
+  // bursts/traces engineered to overlap recovery and checkpoint windows.
+  const int n = cfg.nranks;
+  switch (rng.next_below(4)) {
+    case 0:
+      cfg.fault_model.kind = sim::FaultModelKind::kExponential;
+      cfg.fault_model.mtbf_s = 6.0 + rng.next_double() * 8.0;
+      break;
+    case 1:
+      cfg.fault_model.kind = sim::FaultModelKind::kWeibull;
+      cfg.fault_model.mtbf_s = 6.0 + rng.next_double() * 8.0;
+      cfg.fault_model.weibull_shape = 0.5 + rng.next_double();
+      break;
+    case 2:
+      cfg.fault_model.kind = sim::FaultModelKind::kBurst;
+      cfg.fault_model.burst_mtbf_s = 1.5 + rng.next_double() * 2.0;
+      cfg.fault_model.burst_max_nodes =
+          1 + static_cast<int>(rng.next_below(4));
+      cfg.fault_model.burst_spread_s = 0.05 + rng.next_double() * 0.3;
+      break;
+    default: {
+      cfg.fault_model.kind = sim::FaultModelKind::kTrace;
+      const int k = 2 + static_cast<int>(rng.next_below(4));
+      for (int i = 0; i < k; ++i) {
+        const double at = 0.2 + rng.next_double() * 2.5;
+        const int node = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(n)));
+        cfg.fault_model.schedule.push_back({at, node});
+        if (rng.next_below(3) == 0) {
+          // Same-instant second fault on another node.
+          cfg.fault_model.schedule.push_back(
+              {at, static_cast<int>(
+                       rng.next_below(static_cast<std::uint64_t>(n)))});
+        }
+      }
+      break;
+    }
+  }
+  cfg.max_sim_s = 300.0;  // a stuck run fails fast instead of at 50000 s
+  return cfg;
+}
+
+class FaultTortureTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultTortureTest, InvariantsHoldAndRerunsAreIdentical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const ExperimentConfig cfg = torture_config(seed);
+  const ExperimentResult res = run_experiment(cfg);
+
+  ASSERT_TRUE(res.finished)
+      << "seed " << seed << " hit the watchdog; injected="
+      << res.failures_injected << " completed=" << res.recoveries_completed
+      << " aborted=" << res.recoveries_aborted;
+
+  // Every accepted failure's recovery settled one way or the other.
+  EXPECT_EQ(res.failures_injected,
+            res.recoveries_completed + res.recoveries_aborted)
+      << "seed " << seed;
+  EXPECT_GE(res.failures_absorbed, 0);
+
+  // Restart records: every completed recovery restarted a whole group; an
+  // aborted one contributes at most a group's worth.
+  const int gsize =
+      cfg.nranks / cfg.groups->num_groups();  // round-robin: equal sizes
+  const auto lo = static_cast<std::size_t>(res.recoveries_completed) *
+                  static_cast<std::size_t>(gsize);
+  const auto hi = static_cast<std::size_t>(res.recoveries_completed +
+                                           res.recoveries_aborted) *
+                  static_cast<std::size_t>(gsize);
+  EXPECT_GE(res.metrics.restarts.size(), lo) << "seed " << seed;
+  EXPECT_LE(res.metrics.restarts.size(), hi) << "seed " << seed;
+  for (const auto& r : res.metrics.restarts) {
+    EXPECT_GE(sim::to_seconds(r.end), sim::to_seconds(r.begin));
+  }
+
+  // Byte-identical rerun: same seed, same config => same history, compared
+  // field-exact (doubles included).
+  const ExperimentResult res2 = run_experiment(cfg);
+  EXPECT_TRUE(summarize(res) == summarize(res2))
+      << "seed " << seed << " is not deterministic: exec " << res.exec_time_s
+      << " vs " << res2.exec_time_s << ", failures "
+      << res.failures_injected << " vs " << res2.failures_injected;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultTortureTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace gcr::exp

@@ -34,6 +34,7 @@
 #include "sim/cluster.hpp"
 #include "sim/co.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 #include "sim/jitter.hpp"
 #include "sim/network.hpp"
 #include "sim/smallfn.hpp"

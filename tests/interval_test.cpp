@@ -155,7 +155,6 @@ TEST(Interval, FlakyGroupSurvivesRandomStorm) {
   cfg.random_failure_mtbf_s = {1.0, 2.0, 0.0, 0.0};
   cfg.recovery.detect_s = 0.1;
   cfg.recovery.relaunch_s = 0.1;
-  cfg.recovery.busy_retry_s = 0.05;
   exp::ExperimentResult res = exp::run_experiment(cfg);
   EXPECT_TRUE(res.finished);
   EXPECT_GT(res.failures_injected, 0);

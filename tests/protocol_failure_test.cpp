@@ -63,16 +63,22 @@ TEST(Failure, RestartUsesLatestOfMultipleCheckpoints) {
 
 TEST(Failure, SequentialFailuresOfDifferentGroups) {
   ExperimentConfig cfg;
-  cfg.app = stencil_app(4, 50);
+  cfg.app = stencil_app(4, 60);
   cfg.nranks = 8;
   cfg.groups = group::make_blocks(8, 4);
   cfg.checkpoints = true;
   cfg.schedule.first_at_s = 0.1;
   cfg.schedule.interval_s = 0.2;
-  cfg.failures = {{0, 0.3}, {1, 0.9}, {0, 1.5}};
+  // Spaced beyond detect+relaunch so every failure hits a live group and
+  // runs a full recovery (overlapping schedules are covered by
+  // recovery_concurrent_test.cpp and the torture harness).
+  cfg.recovery.detect_s = 0.2;
+  cfg.recovery.relaunch_s = 0.2;
+  cfg.failures = {{0, 0.3}, {1, 1.2}, {0, 2.1}};
   ExperimentResult res = run_experiment(cfg);
   ASSERT_TRUE(res.finished);
   EXPECT_EQ(res.failures_injected, 3);
+  EXPECT_EQ(res.recoveries_completed, 3);
   EXPECT_EQ(res.metrics.restarts.size(), 12u);  // 3 failures x 4 ranks
 }
 
@@ -88,7 +94,6 @@ TEST(Failure, RepeatedFailureOfSameGroup) {
   // Fast detection/relaunch so all three failures fit inside the run.
   cfg.recovery.detect_s = 0.1;
   cfg.recovery.relaunch_s = 0.1;
-  cfg.recovery.busy_retry_s = 0.05;
   ExperimentResult res = run_experiment(cfg);
   ASSERT_TRUE(res.finished);
   EXPECT_EQ(res.failures_injected, 3);

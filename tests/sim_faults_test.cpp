@@ -1,0 +1,181 @@
+// Unit tests for the pluggable fault models (sim/faults.hpp): stream
+// determinism, nondecreasing event order, distribution sanity, burst
+// adjacency, and the trace parser.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "sim/faults.hpp"
+#include "util/rng.hpp"
+
+namespace gcr::sim {
+namespace {
+
+std::function<Rng(std::uint64_t)> rng_factory(std::uint64_t seed) {
+  return [seed](std::uint64_t stream) { return Rng(mix_seed(seed, stream)); };
+}
+
+std::vector<FaultEvent> draw(FaultModel& model, int count) {
+  std::vector<FaultEvent> events;
+  for (int i = 0; i < count; ++i) {
+    auto ev = model.next();
+    if (!ev.has_value()) break;
+    events.push_back(*ev);
+  }
+  return events;
+}
+
+TEST(FaultModels, EventsAreDeterministicAndNondecreasing) {
+  for (FaultModelKind kind :
+       {FaultModelKind::kExponential, FaultModelKind::kWeibull,
+        FaultModelKind::kBurst}) {
+    FaultModelParams params;
+    params.kind = kind;
+    params.mtbf_s = 50.0;
+    params.burst_mtbf_s = 50.0;
+    auto a = make_fault_model(params);
+    auto b = make_fault_model(params);
+    a->bind(8, rng_factory(7));
+    b->bind(8, rng_factory(7));
+    const auto ea = draw(*a, 200);
+    const auto eb = draw(*b, 200);
+    ASSERT_EQ(ea.size(), 200u);
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].at_s, eb[i].at_s) << fault_model_name(kind);
+      EXPECT_EQ(ea[i].node, eb[i].node) << fault_model_name(kind);
+      if (i > 0) EXPECT_GE(ea[i].at_s, ea[i - 1].at_s);
+    }
+    // A different seed gives a different history.
+    auto c = make_fault_model(params);
+    c->bind(8, rng_factory(8));
+    EXPECT_NE(draw(*c, 200).front().at_s, ea.front().at_s);
+  }
+}
+
+TEST(FaultModels, WeibullShapeOneMatchesExponentialBitForBit) {
+  FaultModelParams exp_p;
+  exp_p.kind = FaultModelKind::kExponential;
+  exp_p.mtbf_s = 120.0;
+  FaultModelParams wei_p;
+  wei_p.kind = FaultModelKind::kWeibull;
+  wei_p.mtbf_s = 120.0;
+  wei_p.weibull_shape = 1.0;
+  auto e = make_fault_model(exp_p);
+  auto w = make_fault_model(wei_p);
+  e->bind(4, rng_factory(42));
+  w->bind(4, rng_factory(42));
+  const auto ee = draw(*e, 100);
+  const auto ww = draw(*w, 100);
+  for (std::size_t i = 0; i < ee.size(); ++i) {
+    EXPECT_EQ(ee[i].at_s, ww[i].at_s);
+    EXPECT_EQ(ee[i].node, ww[i].node);
+  }
+}
+
+TEST(FaultModels, ExponentialMeanIsRoughlyMtbf) {
+  FaultModelParams params;
+  params.kind = FaultModelKind::kExponential;
+  params.mtbf_s = 100.0;
+  auto m = make_fault_model(params);
+  const int nodes = 4;
+  m->bind(nodes, rng_factory(3));
+  // Per-node renewal with mean 100 => cluster rate nodes/100; over N events
+  // the last timestamp is ~ N * 100 / nodes.
+  const auto events = draw(*m, 4000);
+  const double horizon = events.back().at_s;
+  EXPECT_NEAR(horizon, 4000.0 * 100.0 / nodes, 0.1 * 4000.0 * 100.0 / nodes);
+  // All nodes participate.
+  std::map<int, int> per_node;
+  for (const auto& ev : events) ++per_node[ev.node];
+  EXPECT_EQ(per_node.size(), static_cast<std::size_t>(nodes));
+}
+
+TEST(FaultModels, BurstKillsAdjacentNodesWithinSpread) {
+  FaultModelParams params;
+  params.kind = FaultModelKind::kBurst;
+  params.burst_mtbf_s = 100.0;
+  params.burst_max_nodes = 4;
+  params.burst_spread_s = 0.5;
+  auto m = make_fault_model(params);
+  m->bind(16, rng_factory(11));
+  const auto events = draw(*m, 400);
+  // Group events into bursts by time gaps larger than the spread window.
+  bool saw_multi_node_burst = false;
+  std::vector<FaultEvent> burst;
+  auto check_burst = [&] {
+    if (burst.size() < 2) return;
+    saw_multi_node_burst = true;
+    int lo = burst.front().node, hi = lo;
+    for (const auto& ev : burst) {
+      lo = std::min(lo, ev.node);
+      hi = std::max(hi, ev.node);
+      EXPECT_LE(ev.at_s - burst.front().at_s, params.burst_spread_s + 1e-12);
+    }
+    EXPECT_LT(hi - lo, params.burst_max_nodes);  // adjacent run
+  };
+  for (const auto& ev : events) {
+    if (!burst.empty() &&
+        ev.at_s - burst.front().at_s > params.burst_spread_s) {
+      check_burst();
+      burst.clear();
+    }
+    burst.push_back(ev);
+  }
+  EXPECT_TRUE(saw_multi_node_burst);
+  for (const auto& ev : events) {
+    EXPECT_GE(ev.node, 0);
+    EXPECT_LT(ev.node, 16);
+  }
+}
+
+TEST(FaultModels, TraceParsesSortsAndClampsToMachine) {
+  std::istringstream in(
+      "# failure log\n"
+      "12.5 3\n"
+      "\n"
+      "2.0 1   # early bird\n"
+      "2.0 9\n"
+      "7.25 0\n");
+  auto schedule = parse_fault_trace(in);
+  ASSERT_EQ(schedule.size(), 4u);
+
+  FaultModelParams params;
+  params.kind = FaultModelKind::kTrace;
+  params.schedule = schedule;
+  auto m = make_fault_model(params);
+  m->bind(4, rng_factory(1));  // node 9 is outside the machine: dropped
+  const auto events = draw(*m, 10);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at_s, 2.0);
+  EXPECT_EQ(events[0].node, 1);
+  EXPECT_EQ(events[1].at_s, 7.25);
+  EXPECT_EQ(events[1].node, 0);
+  EXPECT_EQ(events[2].at_s, 12.5);
+  EXPECT_EQ(events[2].node, 3);
+  EXPECT_FALSE(m->next().has_value());  // exhausts
+}
+
+TEST(FaultModels, NoneKindMakesNoModel) {
+  EXPECT_EQ(make_fault_model(FaultModelParams{}), nullptr);
+}
+
+TEST(FaultModelsDeathTest, TraceAbortsOnMalformedLine) {
+  // A typo'd line must abort, not be silently dropped — a dropped event
+  // would make the run use a different fault history than the file says.
+  EXPECT_DEATH(
+      {
+        std::istringstream in("O12.5 3\n");
+        parse_fault_trace(in);
+      },
+      "fault trace line 1");
+  EXPECT_DEATH(
+      {
+        std::istringstream in("7.5 2\n3.0 1 extra\n");
+        parse_fault_trace(in);
+      },
+      "fault trace line 2");
+}
+
+}  // namespace
+}  // namespace gcr::sim
