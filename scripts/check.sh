@@ -3,6 +3,13 @@
 # Mirrors ROADMAP.md's verify line exactly; CI runs the same steps.
 set -eu
 cd "$(dirname "$0")/.."
+# Documentation gate: dangling markdown links/anchors and stale
+# `DESIGN.md §` references fail the build (skipped if python3 is absent).
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_docs.py
+else
+  echo "check.sh: python3 not found, skipping scripts/check_docs.py" >&2
+fi
 cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
 # Explicit gate on the randomized fault-torture harness (also part of the
 # ctest run above; CI additionally runs it seed-by-seed under ASan+UBSan).

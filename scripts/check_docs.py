@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Markdown link, anchor, and DESIGN.md-section checker.
+
+Fails (exit 1) on:
+  * a relative markdown link whose target file does not exist;
+  * a link anchor (``file.md#anchor`` or ``#anchor``) with no matching
+    heading in the target file (GitHub slug rules: lowercase, spaces to
+    dashes, punctuation dropped);
+  * a ``DESIGN.md §N[.M]`` reference — in the docs OR anywhere under
+    src/ bench/ tests/ examples/ — naming a section that DESIGN.md does
+    not define.
+
+Run from anywhere: paths resolve relative to the repository root. CI and
+scripts/check.sh run this on every push, so a renumbered section or a
+renamed doc cannot leave dangling references behind.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = [ROOT / "README.md", ROOT / "DESIGN.md",
+             *sorted((ROOT / "docs").glob("*.md"))]
+SOURCE_DIRS = ["src", "bench", "tests", "examples", "scripts"]
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+SECTION_REF_RE = re.compile(r"DESIGN\.md\s+§([0-9]+(?:\.[0-9]+)?)")
+SECTION_DEF_RE = re.compile(r"^#{2,3}\s+([0-9]+(?:\.[0-9]+)?)[.\s]")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup-ish punctuation, dash the spaces."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def md_lines(path: Path):
+    """Document lines with fenced code blocks blanked (links/refs inside
+    code samples are illustrative, not contracts)."""
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            yield ""
+            continue
+        yield "" if in_fence else line
+
+
+def anchors_of(path: Path) -> set:
+    out = set()
+    for line in md_lines(path):
+        m = HEADING_RE.match(line)
+        if m:
+            out.add(github_slug(m.group(2)))
+    return out
+
+
+def design_sections() -> set:
+    out = set()
+    for line in (ROOT / "DESIGN.md").read_text(encoding="utf-8").splitlines():
+        m = SECTION_DEF_RE.match(line)
+        if m:
+            out.add(m.group(1))
+    return out
+
+
+def check_links(errors: list) -> None:
+    anchor_cache = {}
+    for doc in DOC_FILES:
+        for lineno, line in enumerate(md_lines(doc), 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path_part, _, anchor = target.partition("#")
+                dest = (doc.parent / path_part).resolve() if path_part else doc
+                if not dest.exists():
+                    errors.append(f"{doc.relative_to(ROOT)}:{lineno}: "
+                                  f"dangling link target '{target}'")
+                    continue
+                if anchor and dest.suffix == ".md":
+                    if dest not in anchor_cache:
+                        anchor_cache[dest] = anchors_of(dest)
+                    if anchor not in anchor_cache[dest]:
+                        errors.append(f"{doc.relative_to(ROOT)}:{lineno}: "
+                                      f"dangling anchor '#{anchor}' "
+                                      f"(no such heading in {dest.name})")
+
+
+def check_section_refs(errors: list) -> None:
+    sections = design_sections()
+    files = list(DOC_FILES)
+    for d in SOURCE_DIRS:
+        files += sorted((ROOT / d).rglob("*"))
+    for f in files:
+        if not f.is_file() or f.suffix in {".png", ".pdf"}:
+            continue
+        try:
+            text = f.read_text(encoding="utf-8")
+        except (UnicodeDecodeError, OSError):
+            continue
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for sec in SECTION_REF_RE.findall(line):
+                if sec not in sections:
+                    errors.append(f"{f.relative_to(ROOT)}:{lineno}: "
+                                  f"DESIGN.md §{sec} does not exist")
+
+
+def main() -> int:
+    errors = []
+    check_links(errors)
+    check_section_refs(errors)
+    for e in errors:
+        print(f"check_docs: {e}", file=sys.stderr)
+    if errors:
+        print(f"check_docs: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    ndocs = len(DOC_FILES)
+    print(f"check_docs: OK ({ndocs} docs, "
+          f"{len(design_sections())} DESIGN.md sections)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,10 @@
 // Checkpoint image metadata and the in-memory image registry.
 //
-// The *timing* of image IO is modeled through sim::StorageDevice; the
-// *content* that must survive a restart (runtime snapshot + protocol state)
-// is held here, keyed by rank. This is the modeled equivalent of BLCR
+// The *timing* of image IO is modeled through sim::StorageDevice (and, in
+// tiered modes, ckpt::TierStore, whose stage/commit/discard transitions
+// mirror this registry's visibility protocol byte-for-byte); the *content*
+// that must survive a restart (runtime snapshot + protocol state) is held
+// here, keyed by rank. This is the modeled equivalent of BLCR
 // context files plus the protocol's flushed message logs.
 #pragma once
 
@@ -60,6 +62,7 @@ class ImageRegistry {
   /// Drops a rank's staged image, if any (failure before commit).
   void discard_staged(mpi::RankId rank) { staged_.erase(rank); }
 
+  /// True while a staged image awaits its group's commit.
   bool has_staged(mpi::RankId rank) const { return staged_.count(rank) > 0; }
 
   /// Atomically promotes every member's staged image of `epoch` to latest.
@@ -83,7 +86,9 @@ class ImageRegistry {
     return it == images_.end() ? nullptr : &it->second;
   }
 
+  /// Ranks with a committed (restore-visible) image.
   std::size_t count() const { return images_.size(); }
+  /// Drops every committed and staged image (test teardown).
   void clear() {
     images_.clear();
     staged_.clear();

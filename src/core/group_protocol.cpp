@@ -141,8 +141,11 @@ void GroupProtocol::rank_killed(mpi::Rank& rank) {
   }
   st.serve_procs.clear();
   // Roll back checkpoint state that died with the process: an image whose
-  // group commit never happened must not be restored from.
+  // group commit never happened must not be restored from. (Whether the
+  // node's staging-buffer copy of the COMMITTED image survives is the
+  // recovery manager's call — faults lose it, voluntary restarts keep it.)
   registry_->discard_staged(rank.id());
+  checkpointer_->discard_staged(rank.id());
   if (is_leader(rank) && st.round_open) {
     ++metrics_->aborted_rounds;
     st.round_open = false;
@@ -515,7 +518,8 @@ sim::Co<void> GroupProtocol::run_group_checkpoint(mpi::Rank& rank) {
     // write) discards the stage, so restore never sees a torn image or a
     // group whose members restore from different epochs.
     registry_->stage(std::move(image));
-    co_await checkpointer_->write_image(rank.node(), image_bytes_(rank.id()));
+    co_await checkpointer_->stage_image(rank.node(), rank.id(), epoch,
+                                        image_bytes_(rank.id()));
     const sim::Time t_image = eng.now();
 
     // ---- finalize: wait for the whole group, commit, resume ----
@@ -526,8 +530,12 @@ sim::Co<void> GroupProtocol::run_group_checkpoint(mpi::Rank& rank) {
       // group's images become visible at one simulated instant — a kill
       // either lands before (nothing committed) or after (all committed).
       registry_->commit_group(members, epoch);
+      // Tier residency commits in lockstep; in kDrain mode this also
+      // launches each member's background write-behind to the PFS.
+      checkpointer_->commit_images(members);
     } else if (!committed) {
       registry_->discard_staged(rank.id());
+      checkpointer_->discard_staged(rank.id());
     }
     const sim::Time t_end = eng.now();
 
@@ -605,7 +613,8 @@ sim::Co<void> GroupProtocol::run_restore(mpi::Rank& rank) {
   sim::Engine& eng = rt_->engine();
   const sim::Time t_begin = eng.now();
   if (st.from_image) {
-    co_await checkpointer_->read_image(rank.node(), st.restore_image_bytes);
+    co_await checkpointer_->read_image(rank.node(), rank.id(),
+                                       st.restore_image_bytes);
   }
   // Restarting nodes are otherwise idle, so only the small fixed relaunch
   // handling cost applies (no OS-contention jitter spikes here).

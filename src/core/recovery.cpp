@@ -17,8 +17,10 @@ constexpr std::uint64_t kFaultModelStreamBase = 0xFA17A11ULL;
 
 RecoveryManager::RecoveryManager(mpi::Runtime& rt, GroupProtocol& protocol,
                                  ckpt::ImageRegistry& registry,
+                                 ckpt::Checkpointer& checkpointer,
                                  RecoveryOptions options)
-    : rt_(&rt), protocol_(&protocol), registry_(&registry), options_(options) {
+    : rt_(&rt), protocol_(&protocol), registry_(&registry),
+      checkpointer_(&checkpointer), options_(options) {
   GCR_CHECK(options_.max_concurrent_restores >= 1);
   const std::size_t ngroups =
       static_cast<std::size_t>(protocol.groups().num_groups());
@@ -52,6 +54,10 @@ void RecoveryManager::kill_members(int group) {
            members.size(), sim::to_seconds(rt_->engine().now()));
   for (mpi::RankId r : members) {
     rt_->kill_rank(rt_->rank(r));
+    // A FAULT takes the node's staging buffer with it; the member's next
+    // restore falls back to the shared tiers. (restart_all_at kills ranks
+    // too, but voluntarily — healthy nodes keep their buffers warm.)
+    checkpointer_->on_node_failed(r);
   }
 }
 

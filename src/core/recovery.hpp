@@ -49,8 +49,15 @@ struct RecoveryOptions {
 
 class RecoveryManager {
  public:
+  /// `checkpointer` is notified of node faults so tier residency tracks
+  /// physical loss: a fault wipes the failed nodes' staging buffers (their
+  /// restores fall back to burst buffer / PFS — DESIGN.md §13), while the
+  /// voluntary whole-application restart (restart_all_at) relaunches on
+  /// healthy nodes and keeps staging-buffer residency warm.
   RecoveryManager(mpi::Runtime& rt, GroupProtocol& protocol,
-                  ckpt::ImageRegistry& registry, RecoveryOptions options = {});
+                  ckpt::ImageRegistry& registry,
+                  ckpt::Checkpointer& checkpointer,
+                  RecoveryOptions options = {});
 
   /// Schedules a failure of one group at simulated time `t`.
   void fail_group_at(int group, sim::Time t);
@@ -119,6 +126,7 @@ class RecoveryManager {
   mpi::Runtime* rt_;
   GroupProtocol* protocol_;
   ckpt::ImageRegistry* registry_;
+  ckpt::Checkpointer* checkpointer_;
   RecoveryOptions options_;
 
   int failures_ = 0;

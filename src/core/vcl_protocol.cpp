@@ -120,8 +120,12 @@ sim::Co<void> VclProtocol::run_checkpoint(mpi::Rank& rank) {
   // observation is precisely that this window spans nearly the whole
   // checkpoint at scale, turning non-blocking into blocking (Figure 2b).
   const sim::Time t_upload_begin = eng.now();
-  co_await checkpointer_->write_image(
-      rank.node(), image_bytes_(rank.id()) + st.recorded_bytes);
+  co_await checkpointer_->stage_image(
+      rank.node(), rank.id(), st.epoch,
+      image_bytes_(rank.id()) + st.recorded_bytes);
+  // VCL's commit point needs no group agreement (global rounds): the
+  // upload is the restore source the moment it is durable.
+  checkpointer_->commit_image(rank.id());
   const double upload_s = sim::to_seconds(eng.now() - t_upload_begin);
 
   // Wait for a marker of this round (or any later one — the peer's later

@@ -19,8 +19,19 @@ sim::ClusterParams make_cluster_params(const ExperimentConfig& config) {
   cp.net.latency_s = config.net_latency_s;
   cp.net.bandwidth_Bps = config.net_bandwidth_Bps;
   cp.local_disk.bandwidth_Bps = config.disk_bandwidth_Bps;
+  cp.local_disk.concurrency = config.storage.direct_concurrency;
   cp.num_remote_servers = config.remote_storage ? config.remote_servers : 0;
   cp.remote_server.bandwidth_Bps = config.remote_bandwidth_Bps;
+  cp.remote_server.concurrency = config.storage.direct_concurrency;
+  if (config.storage.mode != ckpt::StorageMode::kDirect) {
+    const StorageConfig& s = config.storage;
+    cp.tiers.num_burst_buffers = s.burst_buffers;
+    cp.tiers.node_buffer.bandwidth_Bps = s.node_buffer_Bps;
+    cp.tiers.burst_buffer.bandwidth_Bps = s.burst_buffer_Bps;
+    cp.tiers.burst_buffer.concurrency = s.burst_buffer_concurrency;
+    cp.tiers.pfs.bandwidth_Bps = s.pfs_Bps;
+    cp.tiers.pfs.concurrency = s.pfs_concurrency;
+  }
   cp.jitter.enabled = config.jitter;
   return cp;
 }
@@ -37,6 +48,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   ckpt::CheckpointerOptions ckpt_opts;
   ckpt_opts.remote_storage = config.remote_storage;
+  ckpt_opts.mode = config.storage.mode;
+  ckpt_opts.bb_capacity_bytes =
+      static_cast<std::int64_t>(config.storage.burst_buffer_capacity_bytes);
   ckpt::Checkpointer checkpointer(cluster, ckpt_opts);
   ckpt::ImageRegistry registry;
   core::Metrics metrics;
@@ -68,7 +82,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                                 config.schedule));
     }
     recovery = std::make_unique<core::RecoveryManager>(
-        runtime, *group_protocol, registry, config.recovery);
+        runtime, *group_protocol, registry, checkpointer, config.recovery);
     for (const FailurePlan& f : config.failures) {
       recovery->fail_group_at(f.group, sim::from_seconds(f.at_s));
     }
@@ -128,6 +142,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   result.checkpoints_completed = metrics.completed_rounds(config.nranks);
+  if (const ckpt::TierStats* ts = checkpointer.tier_stats()) {
+    result.tier_stats = *ts;
+  }
   result.metrics = std::move(metrics);
   if (config.collect_trace) result.trace = tracer.take();
   return result;

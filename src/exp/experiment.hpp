@@ -28,6 +28,24 @@ enum class ProtocolKind {
   kVcl,    ///< MPICH-VCL-style non-blocking coordinated
 };
 
+/// Checkpoint storage subsystem (DESIGN.md §13). The default — direct mode
+/// with concurrency 1 — is the pre-tier single-slot FIFO device and keeps
+/// historical campaign outputs byte-identical.
+struct StorageConfig {
+  ckpt::StorageMode mode = ckpt::StorageMode::kDirect;
+  /// Fair-share width of the DIRECT devices (local disk / NFS server): K
+  /// admitted transfers share the bandwidth, 1 = strict FIFO (legacy).
+  int direct_concurrency = 1;
+  // --- tier hierarchy (modes kBurstBuffer / kDrain) ---
+  int burst_buffers = 1;               ///< shared burst-buffer servers
+  double node_buffer_Bps = 2e9;        ///< per-node staging copy rate
+  double burst_buffer_Bps = 400e6;     ///< per-server ingest bandwidth
+  int burst_buffer_concurrency = 4;    ///< fair-share width per server
+  double burst_buffer_capacity_bytes = 8e9;  ///< aggregate image capacity
+  double pfs_Bps = 50e6;               ///< parallel-file-system bandwidth
+  int pfs_concurrency = 8;             ///< PFS stripe width (fair-share)
+};
+
 using AppFactory = std::function<apps::AppSpec(int nranks)>;
 
 struct FailurePlan {
@@ -50,6 +68,9 @@ struct ExperimentConfig {
   bool remote_storage = false;  ///< images go to 4 shared NFS servers
   int remote_servers = 4;
   double remote_bandwidth_Bps = 12.5e6;
+  // Storage subsystem: tier modes route images through burst buffers with
+  // write-behind draining; direct mode (default) is the paper's setup.
+  StorageConfig storage;
   bool jitter = true;
 
   // Protocol.
@@ -98,6 +119,8 @@ struct ExperimentResult {
   int failures_absorbed = 0;     ///< arrivals while the group was already down
   int recoveries_completed = 0;  ///< restores that ran to completion
   int recoveries_aborted = 0;    ///< restores re-killed mid-flight
+  /// Tier counters (all zero in direct mode — see StorageConfig).
+  ckpt::TierStats tier_stats;
   bool finished = false;  ///< false if the watchdog tripped
 
   /// Restart-experiment aggregates (valid when restart_after_finish).

@@ -41,6 +41,20 @@ sim::FaultModelKind fault_kind_at(const SweepPoint& point) {
   return static_cast<sim::FaultModelKind>(point.get_int("fault_kind"));
 }
 
+SweepAxis storage_mode_axis(const std::vector<ckpt::StorageMode>& modes) {
+  SweepAxis axis;
+  axis.name = "storage";
+  axis.values.reserve(modes.size());
+  for (ckpt::StorageMode m : modes) {
+    axis.values.push_back(static_cast<double>(static_cast<int>(m)));
+  }
+  return axis;
+}
+
+ckpt::StorageMode storage_mode_at(const SweepPoint& point) {
+  return static_cast<ckpt::StorageMode>(point.get_int("storage"));
+}
+
 double SweepPoint::get(const std::string& axis) const {
   for (const auto& [name, value] : values) {
     if (name == axis) return value;

@@ -52,6 +52,14 @@ struct SweepPoint {
 SweepAxis fault_kind_axis(const std::vector<sim::FaultModelKind>& kinds);
 sim::FaultModelKind fault_kind_at(const SweepPoint& point);
 
+/// Axis named "storage" over checkpoint storage modes (direct device vs
+/// burst buffer vs burst buffer + async drain — DESIGN.md §13); values are
+/// the enum, so points round-trip through `storage_mode_at`. Bandwidths
+/// and capacities sweep as ordinary `reals` axes the bench folds into its
+/// StorageConfig.
+SweepAxis storage_mode_axis(const std::vector<ckpt::StorageMode>& modes);
+ckpt::StorageMode storage_mode_at(const SweepPoint& point);
+
 /// What one job contributes to its cell's aggregates. The campaign runner
 /// folds collectors cell-by-cell in job-index order, which keeps every
 /// aggregate bit-identical for any worker count.

@@ -51,14 +51,19 @@ class Trigger {
  public:
   explicit Trigger(Engine& engine) : engine_(&engine) {}
 
+  /// True once fire() ran and reset() has not; wait() returns immediately.
   bool fired() const { return fired_; }
 
+  /// Latches the trigger and wakes every current waiter (their resumes
+  /// dispatch through the event queue in registration order). Idempotent.
   void fire() {
     fired_ = true;
     for (WaiterHandle w : waiters_) engine_->fire(w);
     waiters_.clear();
   }
 
+  /// Re-arms: later wait() calls block again. Waiters released by an
+  /// earlier fire() are unaffected.
   void reset() { fired_ = false; }
 
   auto wait() {
@@ -91,14 +96,23 @@ class Semaphore {
   Semaphore(Engine& engine, std::int64_t permits)
       : engine_(&engine), permits_(permits) {}
 
+  /// Permits not currently held (may be claimed by queued waiters on the
+  /// next drain).
   std::int64_t available() const { return permits_; }
+  /// Waiters suspended in acquire() (stale killed entries included until
+  /// a drain skips them).
   std::size_t queue_length() const { return waiters_.size(); }
 
+  /// Returns n permits and hands them to queued live waiters FIFO.
+  /// Never blocks; safe to call from non-coroutine code.
   void release(std::int64_t n = 1) {
     permits_ += n;
     drain();
   }
 
+  /// co_await sem.acquire(): suspends until a permit is granted (FIFO).
+  /// A waiter killed after the grant but before resuming returns its
+  /// permit during the ProcessKilled unwind.
   auto acquire() {
     struct Awaiter {
       Semaphore* sem;

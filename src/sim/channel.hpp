@@ -23,10 +23,12 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
+  /// Queued (undelivered) values; waiters are not counted.
   std::size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
 
   /// Delivers a value: wakes the oldest live waiter or queues the value.
+  /// Never blocks (the channel is unbounded).
   void push(T value) {
     while (!waiters_.empty()) {
       Entry e = std::move(waiters_.front());
@@ -48,7 +50,9 @@ class Channel {
   /// Snapshot access for checkpointing the queue contents.
   const std::deque<T>& items() const { return items_; }
 
-  /// co_await channel.pop() -> T. FIFO among waiters.
+  /// co_await channel.pop() -> T. Suspends until a value is available;
+  /// FIFO among waiters. A waiter killed while suspended unwinds with
+  /// ProcessKilled and its stale queue entry is skipped by later pushes.
   auto pop() {
     struct Awaiter {
       Channel* channel;

@@ -86,7 +86,9 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Current simulated time (integer nanoseconds since start).
   Time now() const { return now_; }
+  /// Events dispatched so far (monotone; perf harness metric).
   std::uint64_t events_processed() const { return events_processed_; }
 
   /// Pre-sizes the event heap and the waiter/callback pools so a workload

@@ -18,9 +18,9 @@ struct JitterParams {
   double median_s = 2e-3;       ///< lognormal median
   double sigma = 0.8;           ///< lognormal shape
   double spike_prob = 0.05;     ///< probability of a heavy straggler
-  double spike_min_s = 0.10;
-  double spike_max_s = 6.00;
-  bool enabled = true;
+  double spike_min_s = 0.10;    ///< uniform spike lower bound (seconds)
+  double spike_max_s = 6.00;    ///< uniform spike upper bound (seconds)
+  bool enabled = true;          ///< false: draw() returns 0 without consuming RNG
 };
 
 class JitterModel {

@@ -30,6 +30,7 @@ class Network {
       : engine_(&engine), params_(params),
         egress_free_(static_cast<std::size_t>(num_nodes), 0) {}
 
+  /// Nodes with their own NIC (valid src/dst range for send()).
   int num_nodes() const { return static_cast<int>(egress_free_.size()); }
 
   struct SendTimes {
@@ -50,7 +51,9 @@ class Network {
                         params_.latency_s);
   }
 
+  /// Cumulative payload bytes ever passed to send() (monotone).
   std::int64_t total_bytes() const { return total_bytes_; }
+  /// Cumulative send() calls (monotone).
   std::int64_t total_messages() const { return total_messages_; }
 
  private:

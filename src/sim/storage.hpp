@@ -1,13 +1,25 @@
-// Storage devices: local disks and shared remote checkpoint servers.
+// Storage devices: local disks, burst buffers, and shared checkpoint/PFS
+// servers, with a fair-share contention model.
 //
-// A device serializes requests FIFO (one transfer at a time) — the dominant
-// effect when 32 processes funnel checkpoint images into one NFS server.
-// Writers/readers are coroutines; a killed waiter releases its slot.
+// A device admits up to `concurrency` transfers at once; admitted transfers
+// FAIR-SHARE the device bandwidth (each progresses at bandwidth/n while n
+// are active, progress resettled on every arrival and departure). Requests
+// beyond the admission limit queue FIFO. `concurrency == 1` (the default)
+// degenerates to the original strict-FIFO single-slot device and is
+// byte-identical to it: the K=1 path posts exactly the same engine events
+// as the pre-fair-share implementation, so existing figure campaigns
+// reproduce bit-for-bit.
+//
+// Writers/readers are coroutines; kill-safety is two-layered: a waiter
+// killed while queued releases its admission slot (Semaphore protocol), and
+// a transfer killed mid-flight is removed from the fair-share set on unwind
+// so the survivors immediately speed up (no stranded bandwidth).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/awaitables.hpp"
 #include "sim/co.hpp"
@@ -15,38 +27,48 @@
 
 namespace gcr::sim {
 
+/// Device cost model. One instance describes one physical device (or one
+/// server of a striped set); tier composition lives above (ckpt/tiers.hpp).
 struct StorageParams {
-  double bandwidth_Bps = 50e6;  ///< sustained sequential bandwidth
-  double latency_s = 5e-3;      ///< per-request setup (seek / RPC)
+  double bandwidth_Bps = 50e6;  ///< sustained sequential bandwidth (bytes/s)
+  double latency_s = 5e-3;      ///< per-request setup (seek / RPC), serial
+  /// Transfers served concurrently; they fair-share `bandwidth_Bps`.
+  /// 1 = strict FIFO (the legacy single-slot device, bit-reproducible).
+  int concurrency = 1;
 };
 
 class StorageDevice {
  public:
-  StorageDevice(Engine& engine, std::string name, const StorageParams& params)
-      : engine_(&engine), name_(std::move(name)), params_(params),
-        slot_(engine, 1) {}
+  /// `engine` must outlive the device. Negative/zero bandwidth or
+  /// concurrency is a configuration bug (asserted in the constructor).
+  StorageDevice(Engine& engine, std::string name, const StorageParams& params);
 
   const std::string& name() const { return name_; }
+  const StorageParams& params() const { return params_; }
 
-  /// Writes `bytes`; completes when the data is durable. FIFO-serialized
-  /// with all other requests on this device.
+  /// Writes `bytes`; completes when the data is durable on this device.
+  /// Queues FIFO behind the admission limit, then fair-shares bandwidth
+  /// with the other admitted transfers. Kill-safe: a killed writer frees
+  /// its slot and its bandwidth share.
   Co<void> write(std::int64_t bytes) {
     return transfer(bytes, /*is_write=*/true, nullptr);
   }
 
-  /// Like write(), but invokes `on_transfer_start` once the device slot is
-  /// acquired (after any queueing) — for callers that model work blocked
-  /// only during the physical transfer, not the queue wait.
+  /// Like write(), but invokes `on_transfer_start` once the device admits
+  /// the transfer (after any queueing) — for callers that model work
+  /// blocked only during the physical transfer, not the queue wait.
   Co<void> write(std::int64_t bytes, std::function<void()> on_transfer_start) {
     return transfer(bytes, /*is_write=*/true, std::move(on_transfer_start));
   }
 
-  /// Reads `bytes`; completes when the data is in memory.
+  /// Reads `bytes`; completes when the data is in memory. Same queueing,
+  /// fair-share, and kill-safety contract as write().
   Co<void> read(std::int64_t bytes) {
     return transfer(bytes, /*is_write=*/false, nullptr);
   }
 
-  /// Pure duration of one unqueued transfer (for analytic estimates).
+  /// Pure duration of one unqueued, uncontended transfer (for analytic
+  /// estimates): latency_s + bytes / bandwidth_Bps.
   Time transfer_duration(std::int64_t bytes) const {
     return from_seconds(params_.latency_s +
                         static_cast<double>(bytes) / params_.bandwidth_Bps);
@@ -54,11 +76,45 @@ class StorageDevice {
 
   std::int64_t bytes_written() const { return bytes_written_; }
   std::int64_t bytes_read() const { return bytes_read_; }
+  /// Requests waiting for admission (not yet transferring).
   std::size_t queue_length() const { return slot_.queue_length(); }
+  /// Transfers currently sharing the device bandwidth.
+  int active_transfers() const { return in_flight_; }
+  /// High-water mark of concurrently admitted transfers over the run.
+  int peak_active_transfers() const { return peak_in_flight_; }
 
  private:
+  /// One admitted transfer in the fair-share set. `remaining` is settled
+  /// lazily: it is exact only at settle points (arrival, departure, timer).
+  struct Active {
+    std::uint64_t id;
+    double remaining;  ///< bytes still to move at the last settle point
+    Trigger* done;     ///< fired when remaining reaches zero
+  };
+
+  /// Removes a killed transfer from the fair-share set on unwind (the
+  /// completion path removes it first, making the guard a no-op).
+  struct ShareGuard {
+    StorageDevice* dev;
+    std::uint64_t id;
+    ~ShareGuard() { dev->abandon(id); }
+  };
+
   Co<void> transfer(std::int64_t bytes, bool is_write,
                     std::function<void()> on_transfer_start);
+  /// Fair-share stream for concurrency > 1: joins the active set, waits for
+  /// the settled completion. Caller holds an admission permit throughout.
+  Co<void> shared_transfer(std::int64_t bytes);
+
+  /// Advances every active transfer's `remaining` to now at bandwidth/n.
+  void settle();
+  /// Fires and erases every active transfer whose remaining hit zero.
+  void complete_ready();
+  /// Arms the completion timer for the smallest remaining transfer;
+  /// `resched_gen_` invalidates timers armed before a state change.
+  void reschedule();
+  void on_timer();
+  void abandon(std::uint64_t id);
 
   Engine* engine_;
   std::string name_;
@@ -66,6 +122,14 @@ class StorageDevice {
   Semaphore slot_;
   std::int64_t bytes_written_ = 0;
   std::int64_t bytes_read_ = 0;
+  int in_flight_ = 0;
+  int peak_in_flight_ = 0;
+
+  // Fair-share state (empty while concurrency == 1).
+  std::vector<Active> active_;
+  Time last_settle_ = 0;
+  std::uint64_t resched_gen_ = 0;
+  std::uint64_t next_xfer_id_ = 1;
 };
 
 }  // namespace gcr::sim

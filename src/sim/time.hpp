@@ -35,6 +35,8 @@ inline constexpr Time from_seconds(double seconds) {
   return static_cast<Time>(seconds * 1e9 + 0.5);
 }
 
+/// Ticks to seconds (report output / cost-model edges only; simulation
+/// arithmetic stays in integer ticks).
 inline constexpr double to_seconds(Time t) {
   return static_cast<double>(t) / 1e9;
 }

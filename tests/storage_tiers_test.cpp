@@ -1,0 +1,149 @@
+// Tier-hierarchy subsystem tests (ckpt/tiers.hpp, DESIGN.md §13): commit
+// at burst-buffer durability, background drain to the PFS, capacity-bound
+// eviction, and restore-tier selection under faults vs voluntary restarts.
+#include <gtest/gtest.h>
+
+#include "apps/simple.hpp"
+#include "exp/experiment.hpp"
+#include "group/strategies.hpp"
+
+namespace gcr::exp {
+namespace {
+
+constexpr std::int64_t kMB = 1'000'000;
+
+/// Ring with 48 MB images (same shape as recovery_concurrent_test): the
+/// one-shot checkpoint at 0.1 s commits by ~5 s, leaving room to land a
+/// failure while background drains are still in flight.
+AppFactory big_image_ring_app() {
+  return [](int n) {
+    apps::RingParams p;
+    p.iterations = 80;
+    p.compute_s = 0.012;
+    p.mem_bytes = 48 * 1024 * 1024;
+    return apps::make_ring(n, p);
+  };
+}
+
+ExperimentConfig tier_config(ckpt::StorageMode mode) {
+  ExperimentConfig cfg;
+  cfg.app = big_image_ring_app();
+  cfg.nranks = 8;
+  cfg.groups = group::make_blocks(8, 4);  // {0..3}, {4..7}
+  cfg.checkpoints = true;
+  cfg.schedule.first_at_s = 0.1;
+  cfg.recovery.detect_s = 0.2;
+  cfg.recovery.relaunch_s = 0.2;
+  cfg.storage.mode = mode;
+  return cfg;
+}
+
+TEST(StorageTiers, DrainModeCommitsAtBurstBufferAndDrainsToPfs) {
+  ExperimentConfig cfg = tier_config(ckpt::StorageMode::kDrain);
+  // Fast PFS so every write-behind lands before the (short) job ends —
+  // the engine stops at job completion, abandoning still-queued drains.
+  cfg.storage.pfs_Bps = 2e9;
+  ExperimentResult res = run_experiment(cfg);
+  ASSERT_TRUE(res.finished);
+  // Every rank staged once; every committed image drained in background.
+  EXPECT_EQ(res.tier_stats.images_staged, 8);
+  EXPECT_EQ(res.tier_stats.drains_started, 8);
+  EXPECT_EQ(res.tier_stats.drains_completed, 8);
+  EXPECT_EQ(res.tier_stats.evictions, 0);
+  // Committed images stay resident: 8 × 48 MiB accounted on the buffer.
+  EXPECT_EQ(res.tier_stats.bb_bytes_used, 8 * 48 * 1024 * 1024);
+  EXPECT_LE(res.tier_stats.bb_bytes_peak,
+            static_cast<std::int64_t>(cfg.storage.burst_buffer_capacity_bytes));
+}
+
+TEST(StorageTiers, BurstBufferModeNeverDrains) {
+  ExperimentConfig cfg = tier_config(ckpt::StorageMode::kBurstBuffer);
+  ExperimentResult res = run_experiment(cfg);
+  ASSERT_TRUE(res.finished);
+  EXPECT_EQ(res.tier_stats.images_staged, 8);
+  EXPECT_EQ(res.tier_stats.drains_started, 0);
+  EXPECT_EQ(res.tier_stats.reads_pfs, 0);
+}
+
+// The drain-interrupted-by-fault case: the PFS is so slow that the fault
+// lands while every image's write-behind is still in flight. The committed
+// cut must restore correctly from burst-buffer durability alone.
+TEST(StorageTiers, FaultDuringDrainRestoresFromBurstBuffer) {
+  ExperimentConfig cfg = tier_config(ckpt::StorageMode::kDrain);
+  cfg.storage.pfs_Bps = 1e6;  // 48 s per image: drains outlive the job
+  cfg.failures = {{0, 5.5}};
+  ExperimentResult res = run_experiment(cfg);
+  ASSERT_TRUE(res.finished);
+  EXPECT_EQ(res.failures_injected, 1);
+  EXPECT_EQ(res.recoveries_completed, 1);
+  EXPECT_EQ(res.tier_stats.drains_started, 8);
+  EXPECT_EQ(res.tier_stats.drains_completed, 0);
+  // The killed nodes lost their staging buffers; the restore read the
+  // whole group's images from the burst buffer, not the (unfinished) PFS.
+  EXPECT_EQ(res.tier_stats.reads_local, 0);
+  EXPECT_EQ(res.tier_stats.reads_bb, 4);
+  EXPECT_EQ(res.tier_stats.reads_pfs, 0);
+  EXPECT_EQ(res.metrics.restarts.size(), 4u);
+  // Deterministic: the same config replays to the same simulated end time.
+  ExperimentResult res2 = run_experiment(cfg);
+  EXPECT_EQ(res.exec_time_s, res2.exec_time_s);
+}
+
+// A voluntary whole-application restart relaunches on healthy nodes: the
+// staging buffers are warm, so images reload at node-buffer speed.
+TEST(StorageTiers, VoluntaryRestartReadsWarmNodeBuffer) {
+  ExperimentConfig cfg = tier_config(ckpt::StorageMode::kDrain);
+  cfg.restart_after_finish = true;
+  ExperimentResult res = run_experiment(cfg);
+  ASSERT_TRUE(res.finished);
+  EXPECT_EQ(res.tier_stats.reads_local, 8);
+  EXPECT_EQ(res.tier_stats.reads_bb, 0);
+  EXPECT_EQ(res.tier_stats.reads_pfs, 0);
+}
+
+// kBurstBuffer mode never drains, so an exhausted pool can never become
+// evictable and waiting could deadlock the job into a watchdog trip —
+// undersizing the capacity is a fail-fast configuration error.
+TEST(StorageTiersDeathTest, BurstBufferModeAssertsOnExhaustedCapacity) {
+  ExperimentConfig cfg = tier_config(ckpt::StorageMode::kBurstBuffer);
+  cfg.storage.burst_buffer_capacity_bytes = 100.0 * kMB;  // < 8 × 48 MiB
+  EXPECT_DEATH(run_experiment(cfg), "burst-buffer capacity exhausted");
+}
+
+// Tier-eviction bounds: a burst buffer smaller than the per-epoch working
+// set forces drained images out; occupancy must never exceed capacity and
+// the job must still make progress (stalled writers resume on eviction).
+TEST(StorageTiers, EvictionKeepsOccupancyWithinCapacity) {
+  ExperimentConfig cfg = tier_config(ckpt::StorageMode::kDrain);
+  cfg.groups = group::make_gp1(8);        // uncoordinated: fast rounds
+  cfg.schedule.interval_s = 1.0;          // several epochs per run
+  cfg.storage.pfs_Bps = 400e6;            // drains keep up with ingest
+  cfg.storage.burst_buffer_capacity_bytes = 120.0 * kMB;  // < 2 images + 1
+  ExperimentResult res = run_experiment(cfg);
+  ASSERT_TRUE(res.finished);
+  EXPECT_GT(res.tier_stats.images_staged, 8);  // more than one epoch ran
+  EXPECT_GT(res.tier_stats.evictions, 0);
+  EXPECT_LE(res.tier_stats.bb_bytes_peak, 120 * kMB);
+  EXPECT_GE(res.tier_stats.bb_bytes_used, 0);
+}
+
+// After an image was evicted from the burst buffer (drained to the PFS),
+// a fault-driven restore falls back to the slowest tier and still works.
+TEST(StorageTiers, RestoreFallsBackToPfsAfterEviction) {
+  ExperimentConfig cfg = tier_config(ckpt::StorageMode::kDrain);
+  cfg.groups = group::make_gp1(8);
+  cfg.schedule.interval_s = 1.0;
+  cfg.storage.pfs_Bps = 400e6;
+  cfg.storage.burst_buffer_capacity_bytes = 120.0 * kMB;
+  cfg.failures = {{0, 5.5}};
+  ExperimentResult res = run_experiment(cfg);
+  ASSERT_TRUE(res.finished);
+  EXPECT_EQ(res.recoveries_completed, 1);
+  // The single-rank group restored from wherever its latest committed
+  // image survived — a shared tier, never the dead node's buffer.
+  EXPECT_EQ(res.tier_stats.reads_local, 0);
+  EXPECT_EQ(res.tier_stats.reads_bb + res.tier_stats.reads_pfs, 1);
+}
+
+}  // namespace
+}  // namespace gcr::exp
