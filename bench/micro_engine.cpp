@@ -10,6 +10,9 @@
 //                       every round recycles a cancelled waiter slot
 //   * ping_pong       — channel handoff pairs (the per-rank delivery idiom)
 //   * spawn_kill      — process churn: spawn, let run, kill half while queued
+//   * link_contention — routed fat-tree transfers fair-sharing uplinks: the
+//                       settle/re-rate/heap cycle every membership change
+//                       pays on a contended fabric
 //
 // Output is one JSON object per line (events = Engine::events_processed()
 // delta; rate = events / wall second), plus a trailing summary object. CI
@@ -25,6 +28,7 @@
 #include "sim/awaitables.hpp"
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
+#include "sim/network.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -182,6 +186,39 @@ std::uint64_t spawn_kill(int waves, int procs_per_wave) {
   return eng.events_processed();
 }
 
+std::uint64_t link_contention(int nodes, int rounds) {
+  // Every node streams to the node halfway across a fat-tree, so the core
+  // uplinks stay saturated and every completion re-rates the survivors
+  // sharing its links — the fabric's hot path (settle, bottleneck re-split,
+  // heap push, generation-guarded timer) with zero steady-state allocation.
+  Engine eng;
+  sim::NetParams np;
+  np.topology.kind = sim::TopologyKind::kFatTree;
+  np.topology.fattree_routing = sim::FatTreeRouting::kAdaptive;
+  sim::Network net(eng, nodes, np);
+  long delivered = 0;
+  struct Stream {
+    Engine* eng;
+    sim::Network* net;
+    long* delivered;
+    int src, dst, left;
+    void operator()() {
+      ++*delivered;
+      if (left > 0) {
+        net->send(src, dst, 40 * 1024, Stream{eng, net, delivered, src, dst,
+                                              left - 1});
+      }
+    }
+  };
+  for (int s = 0; s < nodes; ++s) {
+    const int d = (s + nodes / 2) % nodes;
+    net.send(s, d, 40 * 1024, Stream{&eng, &net, &delivered, s, d, rounds - 1});
+  }
+  eng.run();
+  if (delivered != static_cast<long>(nodes) * rounds) std::abort();
+  return eng.events_processed();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -210,6 +247,8 @@ int main(int argc, char** argv) {
          best_of(reps, [&] { return ping_pong(500, 200 * scale); }));
   record("spawn_kill",
          best_of(reps, [&] { return spawn_kill(2000 * scale, 50); }));
+  record("link_contention",
+         best_of(reps, [&] { return link_contention(128, 400 * scale); }));
 
   std::printf(
       "{\"bench\":\"TOTAL\",\"events\":%llu,\"seconds\":%.6f,"

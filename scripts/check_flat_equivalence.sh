@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Flat-model regression gate: the default (kFlat) topology must reproduce
+# the pre-topology network model BYTE-identically — same arithmetic, same
+# engine event sequence, so the historical figure outputs cannot drift.
+#
+# Compares fig05/fig13 campaign output at a fixed small sweep against the
+# committed goldens (tests/golden/*.txt, captured from the pre-topology
+# tree). Registered as a ctest target when GCR_BUILD_BENCH=ON.
+#
+# Usage: check_flat_equivalence.sh <fig05-binary> <fig13-binary> <golden-dir>
+set -eu
+
+fig05=$1
+fig13=$2
+golden=$3
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$fig05" --procs 16,32 --reps 2 --jobs 4 > "$tmp/fig05.txt"
+"$fig13" --procs 16,32 --reps 2 --jobs 4 > "$tmp/fig13.txt"
+
+diff -u "$golden/fig05_procs16_32_reps2.txt" "$tmp/fig05.txt"
+diff -u "$golden/fig13_procs16_32_reps2.txt" "$tmp/fig13.txt"
+echo "flat-equivalence: BYTE-IDENTICAL"

@@ -96,7 +96,26 @@ void GroupProtocol::on_deliver(mpi::Rank& rank, const mpi::Message& msg) {
   if (msg.piggyback_rr >= 0) {
     st.log.gc(msg.src, msg.piggyback_rr);
   }
+  if (st.bookmark_wait_active) note_bookmark_progress(st, rank, msg.src);
   if (st.in_checkpoint) wake(rank);  // drain predicate may now hold
+}
+
+void GroupProtocol::note_bookmark_progress(RankState& st,
+                                           const mpi::Rank& rank,
+                                           mpi::RankId m) {
+  if (!st.bookmark_wait_active || m == rank.id()) return;
+  const auto it = st.bookmarks.find(m);
+  const bool met =
+      it != st.bookmarks.end() && rank.recvd_from(m).bytes >= it->second;
+  const bool counted = st.bookmark_met.count(m) != 0;
+  if (met && !counted) {
+    st.bookmark_met.insert(m);
+    --st.bookmark_unmet;
+  } else if (!met && counted) {
+    // A late bookmark re-keyed the requirement upward; re-arm the count.
+    st.bookmark_met.erase(m);
+    ++st.bookmark_unmet;
+  }
 }
 
 // ------------------------------------------------------------ daemon / ctrl
@@ -152,6 +171,9 @@ void GroupProtocol::rank_killed(mpi::Rank& rank) {
   }
   st.commit_pending = false;
   st.in_checkpoint = false;
+  st.bookmark_wait_active = false;  // wait coroutine died with the rank
+  st.bookmark_unmet = 0;
+  st.bookmark_met.clear();
   st.restoring = false;
   st.exchange_pending.clear();
   st.exchange_deferred.clear();
@@ -192,7 +214,24 @@ void GroupProtocol::rank_finished(mpi::Rank& rank) {
 }
 
 sim::Co<void> GroupProtocol::daemon_loop(mpi::Rank& rank) {
+  // A ctrl backlog drains synchronously: pop() completes without suspending
+  // while messages are queued, and symmetric transfer resumes this loop from
+  // inside handle_ctrl's final suspend, so every synchronously handled
+  // message nests two more native frames. A 4k-rank bookmark storm queues
+  // thousands at once — enough to overflow the stack — so bounce through the
+  // event queue (delay 0 is a real suspension) every kMaxSyncDrain messages.
+  // The bound sits far above any backlog a paper-scale (<= 32 rank) run
+  // produces, so their event sequences — and the flat-equivalence goldens —
+  // are untouched.
+  constexpr int kMaxSyncDrain = 64;
+  int burst = 0;
   for (;;) {
+    if (rank.ctrl_in().empty()) {
+      burst = 0;  // pop() will suspend; resumption starts from a fresh stack
+    } else if (++burst >= kMaxSyncDrain) {
+      burst = 0;
+      co_await sim::delay(rt_->engine(), sim::Time{0});
+    }
     mpi::Message msg = co_await rank.ctrl_in().pop();
     co_await handle_ctrl(rank, std::move(msg));
   }
@@ -327,6 +366,7 @@ sim::Co<void> GroupProtocol::handle_ctrl(mpi::Rank& rank, mpi::Message msg) {
       const auto epoch = static_cast<std::uint64_t>(msg.ctrl_data.at(0));
       (void)epoch;  // one round per group at a time; keyed by source
       st.bookmarks[msg.src] = msg.ctrl_data.at(1);
+      if (st.bookmark_wait_active) note_bookmark_progress(st, rank, msg.src);
       wake(rank);
       co_return;
     }
@@ -488,15 +528,36 @@ sim::Co<void> GroupProtocol::run_group_checkpoint(mpi::Rank& rank) {
                           rank.sent_to(m).bytes};
     rt_->send_ctrl(rank.id(), m, bookmark);
   }
+  // Seed the incremental drain counter with one scan; from here the
+  // kBookmark and delivery hooks keep it exact, so each wake evaluates the
+  // predicate in O(1) (the full rescan is quadratic across a round and made
+  // NORM — one group of n — untenable at thousands of ranks).
+  st.bookmark_met.clear();
+  st.bookmark_unmet = 0;
+  st.bookmark_wait_active = true;
+  for (mpi::RankId m : members) {
+    if (m == rank.id()) continue;
+    ++st.bookmark_unmet;
+    note_bookmark_progress(st, rank, m);
+  }
   bool ok = co_await wait_event(rank, epoch, [&] {
+#ifndef NDEBUG
+    bool full = true;
     for (mpi::RankId m : members) {
       if (m == rank.id()) continue;
       auto it = st.bookmarks.find(m);
-      if (it == st.bookmarks.end()) return false;
-      if (rank.recvd_from(m).bytes < it->second) return false;  // in transit
+      if (it == st.bookmarks.end() ||
+          rank.recvd_from(m).bytes < it->second) {  // missing or in transit
+        full = false;
+        break;
+      }
     }
-    return true;
+    GCR_ASSERT(full == (st.bookmark_unmet == 0));
+#endif
+    return st.bookmark_unmet == 0;
   });
+  st.bookmark_wait_active = false;
+  st.bookmark_met.clear();
   if (ok) ok = co_await group_barrier(rank, epoch, 0);
   const sim::Time t_coordinated = eng.now();
 
@@ -577,6 +638,9 @@ void GroupProtocol::stage_restore(mpi::Rank& rank,
   st.in_checkpoint = false;
   st.round_open = false;
   st.bookmarks.clear();
+  st.bookmark_wait_active = false;
+  st.bookmark_unmet = 0;
+  st.bookmark_met.clear();
   st.barrier_acks.clear();
   st.barrier_go.clear();
   st.prepare_replies.clear();
@@ -685,10 +749,14 @@ sim::Co<void> GroupProtocol::replay_to(mpi::Rank& rank, mpi::RankId peer,
   sim::Engine& eng = rt_->engine();
   for (const mpi::Message& m : entries) {
     co_await sim::delay(eng, sim::from_seconds(options_.replay_per_msg_s));
-    const sim::Time egress = rt_->replay_send(rank, m);
+    const auto times = rt_->replay_send(rank, m);
     ++metrics_->resend_messages;
     metrics_->resend_bytes += m.bytes;
-    if (egress > eng.now()) co_await sim::delay(eng, egress - eng.now());
+    if (times.ticket != 0) {
+      co_await rt_->await_egress(times.ticket);
+    } else if (times.egress_done > eng.now()) {
+      co_await sim::delay(eng, times.egress_done - eng.now());
+    }
   }
 }
 

@@ -18,6 +18,7 @@ sim::ClusterParams make_cluster_params(const ExperimentConfig& config) {
   cp.seed = config.seed;
   cp.net.latency_s = config.net_latency_s;
   cp.net.bandwidth_Bps = config.net_bandwidth_Bps;
+  cp.net.topology = config.topology;
   cp.local_disk.bandwidth_Bps = config.disk_bandwidth_Bps;
   cp.local_disk.concurrency = config.storage.direct_concurrency;
   cp.num_remote_servers = config.remote_storage ? config.remote_servers : 0;
@@ -71,7 +72,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                   "group protocol requires a GroupSet");
     group_protocol = std::make_unique<core::GroupProtocol>(
         runtime, *config.groups, checkpointer, registry, spec.image_bytes,
-        metrics);
+        metrics, config.protocol_options);
     runtime.set_protocol(group_protocol.get());
     if (!config.per_group_intervals.empty()) {
       core::CheckpointScheduler::start_per_group(runtime, *group_protocol,

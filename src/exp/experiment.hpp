@@ -61,6 +61,12 @@ struct ExperimentConfig {
   // Cluster model (Gideon-300 defaults; see DESIGN.md §6).
   double net_latency_s = 70e-6;
   double net_bandwidth_Bps = 12.5e6;
+  // Fabric topology (DESIGN.md §14). kFlat (default) is the paper's
+  // non-blocking switch and reproduces historical outputs byte-identically;
+  // kFatTree/kDragonfly route every message over per-link fair-share
+  // contention for the scale-extrapolation campaigns. Link bandwidths of 0
+  // inherit net_bandwidth_Bps.
+  sim::TopologyParams topology;
   // Local image writes land in the page cache first (512 MB nodes); the
   // effective rate seen by the checkpointer is memory-copy-bound, not raw
   // IDE-disk-bound. Calibrated against the paper's Figure 9 image phases.
@@ -76,6 +82,11 @@ struct ExperimentConfig {
   // Protocol.
   ProtocolKind protocol = ProtocolKind::kGroup;
   std::optional<group::GroupSet> groups;  ///< required for kGroup
+  // Group-protocol cost-model knobs. Defaults reproduce the paper's
+  // cluster; scale campaigns raise commit_margin so the leader's commit
+  // fan-out (O(group) control messages over a contended fabric) cannot
+  // outrun the agreed target iteration.
+  core::GroupProtocolOptions protocol_options{};
 
   // Checkpoint schedule (enable with first_at_s/interval via `schedule`).
   bool checkpoints = false;

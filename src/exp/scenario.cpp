@@ -55,6 +55,20 @@ ckpt::StorageMode storage_mode_at(const SweepPoint& point) {
   return static_cast<ckpt::StorageMode>(point.get_int("storage"));
 }
 
+SweepAxis topology_axis(const std::vector<sim::TopologyKind>& kinds) {
+  SweepAxis axis;
+  axis.name = "topology";
+  axis.values.reserve(kinds.size());
+  for (sim::TopologyKind k : kinds) {
+    axis.values.push_back(static_cast<double>(static_cast<int>(k)));
+  }
+  return axis;
+}
+
+sim::TopologyKind topology_kind_at(const SweepPoint& point) {
+  return static_cast<sim::TopologyKind>(point.get_int("topology"));
+}
+
 double SweepPoint::get(const std::string& axis) const {
   for (const auto& [name, value] : values) {
     if (name == axis) return value;

@@ -60,6 +60,13 @@ sim::FaultModelKind fault_kind_at(const SweepPoint& point);
 SweepAxis storage_mode_axis(const std::vector<ckpt::StorageMode>& modes);
 ckpt::StorageMode storage_mode_at(const SweepPoint& point);
 
+/// Axis named "topology" over fabric shapes (flat switch vs fat-tree vs
+/// dragonfly — DESIGN.md §14); values are the enum, so points round-trip
+/// through `topology_kind_at`. Routing policies and link bandwidths sweep
+/// as ordinary axes the bench folds into its TopologyParams.
+SweepAxis topology_axis(const std::vector<sim::TopologyKind>& kinds);
+sim::TopologyKind topology_kind_at(const SweepPoint& point);
+
 /// What one job contributes to its cell's aggregates. The campaign runner
 /// folds collectors cell-by-cell in job-index order, which keeps every
 /// aggregate bit-identical for any worker count.

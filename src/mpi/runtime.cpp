@@ -146,16 +146,32 @@ void Runtime::stamp_outgoing(Rank& rank, Message& msg) {
   app_bytes_sent_ += msg.bytes;
 }
 
-sim::Time Runtime::transmit(const Message& msg) {
+sim::Network::SendTimes Runtime::transmit(const Message& msg) {
   const int src_node = msg.src == kExternalSource
                            ? driver_node()
                            : ranks_[static_cast<std::size_t>(msg.src)]->node();
   const int dst_node = ranks_[static_cast<std::size_t>(msg.dst)]->node();
   Message copy = msg;
-  auto times = cluster_->network().send(
+  return cluster_->network().send(
       src_node, dst_node, msg.bytes + kWireHeaderBytes,
       [this, m = std::move(copy)]() mutable { deliver(std::move(m)); });
-  return times.egress_done;
+}
+
+sim::Co<void> Runtime::await_egress(std::uint64_t ticket) {
+  sim::Network& net = cluster_->network();
+  if (ticket == 0 || !net.egress_pending(ticket)) co_return;
+  // RAII unregistration mirrors StorageDevice's ShareGuard: if the waiting
+  // coroutine is killed mid-wait, the fabric must not fire into a dead
+  // stack frame. Clearing a completed/aborted ticket is a no-op.
+  struct EgressGuard {
+    sim::Network* net;
+    std::uint64_t ticket;
+    ~EgressGuard() { net->clear_egress_trigger(ticket); }
+  };
+  sim::Trigger egress(engine());
+  EgressGuard guard{&net, ticket};
+  net.set_egress_trigger(ticket, &egress);
+  co_await egress.wait();
 }
 
 sim::Co<void> Runtime::send(Rank& rank, RankId dst, int tag,
@@ -175,9 +191,15 @@ sim::Co<void> Runtime::send(Rank& rank, RankId dst, int tag,
   if (protocol_) transmit_it = co_await protocol_->before_send(rank, msg);
   for (Observer* obs : observers_) obs->on_send(rank, msg, transmit_it);
   if (transmit_it) {
-    const sim::Time egress = transmit(msg);
-    const sim::Time now = engine().now();
-    if (egress > now) co_await sim::delay(engine(), egress - now);
+    const auto times = transmit(msg);
+    if (times.ticket != 0) {
+      co_await await_egress(times.ticket);
+    } else {
+      const sim::Time now = engine().now();
+      if (times.egress_done > now) {
+        co_await sim::delay(engine(), times.egress_done - now);
+      }
+    }
   }
 }
 
@@ -195,11 +217,17 @@ sim::Co<Message> Runtime::sendrecv(Rank& rank, RankId dst, int stag,
   bool transmit_it = true;
   if (protocol_) transmit_it = co_await protocol_->before_send(rank, msg);
   for (Observer* obs : observers_) obs->on_send(rank, msg, transmit_it);
-  sim::Time egress = 0;
-  if (transmit_it) egress = transmit(msg);
+  sim::Network::SendTimes times{0, 0, 0};
+  if (transmit_it) times = transmit(msg);
   Message in = co_await recv(rank, src, rtag);
-  const sim::Time now = engine().now();
-  if (egress > now) co_await sim::delay(engine(), egress - now);
+  if (times.ticket != 0) {
+    co_await await_egress(times.ticket);
+  } else {
+    const sim::Time now = engine().now();
+    if (times.egress_done > now) {
+      co_await sim::delay(engine(), times.egress_done - now);
+    }
+  }
   co_return in;
 }
 
@@ -438,7 +466,8 @@ void Runtime::send_ctrl_from_driver(RankId dst, Message msg) {
   send_ctrl(kExternalSource, dst, std::move(msg));
 }
 
-sim::Time Runtime::replay_send(Rank& sender, const Message& original) {
+sim::Network::SendTimes Runtime::replay_send(Rank& sender,
+                                             const Message& original) {
   Message msg = original;
   msg.is_replay = true;
   msg.piggyback_rr = -1;
@@ -462,6 +491,10 @@ RankSnapshot Runtime::snapshot_rank(const Rank& rank) const {
 void Runtime::kill_rank(Rank& rank) {
   GCR_CHECK(rank.alive_);
   rank.alive_ = false;
+  // Drop the node's queued/in-flight fabric transfers *before* unwinding
+  // its coroutines, so no completion can fire into a stack being torn
+  // down, and survivors reclaim the dead sender's link shares. Flat no-op.
+  cluster_->network().abort_transfers_from(rank.node());
   if (rank.app_proc_ && rank.app_proc_->alive()) {
     engine().kill(*rank.app_proc_);
   }

@@ -117,8 +117,18 @@ class Runtime {
   /// Re-sends a logged app-plane message (sender-based replay). Bypasses the
   /// protocol's before_send (it IS the protocol acting) and does not bump
   /// the sender's S counters (they already account for the original send).
-  /// Returns the egress-done time so the caller can pace replay.
-  sim::Time replay_send(Rank& sender, const Message& original);
+  /// Returns the network send times so the caller can pace replay: exact
+  /// egress under the flat model, a ticket to block on under routing.
+  sim::Network::SendTimes replay_send(Rank& sender, const Message& original);
+
+  /// Blocks until the ticket's transfer clears its bottleneck (routed
+  /// fabrics). No-op for a zero ticket or an already-completed transfer;
+  /// kill-safe (the registration is cleared on unwind).
+  sim::Co<void> await_egress(std::uint64_t ticket);
+
+  /// True when the cluster routes transfers over a multi-link topology —
+  /// callers then pace sends via await_egress instead of egress timestamps.
+  bool routed_network() { return cluster_->network().routed(); }
 
   // ---- lifecycle (used by protocols / recovery orchestration) ----
   /// Captures the runtime-visible state of a rank (at a safe point).
@@ -170,8 +180,8 @@ class Runtime {
   void spawn_app_coroutine(Rank& rank);
   /// Assigns seq/cum_bytes/checksum and bumps the sender's S table.
   void stamp_outgoing(Rank& rank, Message& msg);
-  /// Common transmit path; returns egress-done time.
-  sim::Time transmit(const Message& msg);
+  /// Common transmit path; returns the network send times (see send()).
+  sim::Network::SendTimes transmit(const Message& msg);
 
   sim::Cluster* cluster_;
   RuntimeOptions options_;

@@ -60,7 +60,8 @@ class Cluster {
  public:
   explicit Cluster(const ClusterParams& params)
       : params_(params),
-        network_(engine_, params.num_nodes, params.net),
+        network_(engine_, params.num_nodes, params.net,
+                 mix_seed(params.seed, /*stream_id=*/0x726f757465)),
         jitter_(params.jitter) {
     GCR_CHECK(params.num_nodes > 0);
     local_disks_.reserve(static_cast<std::size_t>(params.num_nodes));

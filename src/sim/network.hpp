@@ -1,50 +1,109 @@
-// Network model: per-node NIC egress serialization + propagation latency.
+// Network model: flat per-node NIC serialization, or a routed multi-link
+// fabric with per-link fair-share contention.
 //
-// Calibrated for the Gideon 300 cluster's switched Fast Ethernet: each node
-// owns a full-duplex 100 Mb/s port; the switch is non-blocking, so the
-// first-order contention effect is serialization at the sender's NIC. A
-// message departs when the NIC is free, occupies it for `per_message +
-// bytes/bandwidth`, and arrives `latency` after the occupation ends.
-// Same-node transfers bypass the NIC (memory copy).
+// Flat (the default) is the paper's switched-Fast-Ethernet model: each node
+// owns a full-duplex port, the switch is non-blocking, so the only
+// contention is serialization at the sender's NIC. A message departs when
+// the NIC is free, occupies it for `per_message + bytes/bandwidth`, and
+// arrives `latency` after the occupation ends. This path is bit-identical
+// to the pre-topology implementation: same arithmetic, same engine events.
+//
+// Routed topologies (fat-tree, dragonfly — sim/topology.hpp) model every
+// directed physical link as a fair-share contended resource, reusing the
+// resettling protocol proven in sim::StorageDevice: a transfer's rate is
+// its *bottleneck* share, min over route links of bandwidth/active; each
+// membership change settles the affected transfers' progress at the old
+// rate and re-splits from now. Completion estimates live in a lazy min-heap
+// invalidated by per-transfer generations; a single generation-guarded
+// engine timer fires the earliest one. Each sender NIC admits
+// `nic_concurrency` transfers; later sends queue FIFO at the sender, which
+// keeps the active set (and the per-event resettle cost) bounded by nodes,
+// not by outstanding messages. The steady path allocates nothing: transfers
+// recycle through a pooled free list, link membership is intrusive, and the
+// heap reuses its buffer.
+//
+// Kill protocol: abort_transfers_from(node) drops the node's queued and
+// in-flight transfers (deliver/egress callbacks destroyed, survivors
+// resettled to reclaim the bandwidth) — mirroring StorageDevice's
+// ShareGuard release so a killed sender never strands link shares.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
+#include "sim/topology.hpp"
 
 namespace gcr::sim {
 
+class Trigger;
+
 struct NetParams {
-  double latency_s = 70e-6;        ///< one-way wire+switch latency
+  double latency_s = 70e-6;        ///< one-way wire+switch latency (flat)
   double bandwidth_Bps = 12.5e6;   ///< per-NIC egress bandwidth (100 Mb/s)
   double per_message_s = 10e-6;    ///< fixed per-message wire/stack cost
   double loopback_Bps = 400e6;     ///< same-node copy bandwidth (P4-era)
   double loopback_latency_s = 2e-6;
+  /// Fabric shape + routing policy; kFlat selects the legacy model above.
+  TopologyParams topology;
 };
 
 class Network {
  public:
-  Network(Engine& engine, int num_nodes, const NetParams& params)
-      : engine_(&engine), params_(params),
-        egress_free_(static_cast<std::size_t>(num_nodes), 0) {}
+  /// `routing_seed` feeds randomized routing policies (dragonfly Valiant);
+  /// deterministic policies never draw from it.
+  Network(Engine& engine, int num_nodes, const NetParams& params,
+          std::uint64_t routing_seed = 0x6e6574);
 
   /// Nodes with their own NIC (valid src/dst range for send()).
-  int num_nodes() const { return static_cast<int>(egress_free_.size()); }
+  int num_nodes() const { return num_nodes_; }
+  /// True when a multi-link topology routes transfers (not kFlat).
+  bool routed() const { return topo_->kind() != TopologyKind::kFlat; }
+  const Topology& topology() const { return *topo_; }
 
   struct SendTimes {
     Time egress_done;  ///< when the sender's buffer is reusable
     Time arrival;      ///< when `deliver` runs at the destination
+    /// Nonzero for a routed fabric transfer: a handle for the egress-wait
+    /// protocol below. 0 for flat and loopback sends (their egress_done is
+    /// already exact).
+    std::uint64_t ticket = 0;
   };
 
   /// Schedules an asynchronous transfer; `deliver` runs at arrival time.
-  /// The caller decides whether to block until egress_done (rendezvous data)
-  /// or continue immediately (eager small messages).
+  /// The returned times are exact for flat/loopback but uncontended
+  /// *estimates* under routing, because a routed completion depends on
+  /// future contention — block on the ticket (below) for the real signal.
   SendTimes send(int src_node, int dst_node, std::int64_t bytes,
                  SmallFn deliver);
 
-  /// Pure timing query (no event scheduled, no NIC occupied).
+  // ---- Egress-wait protocol (routed transfers only) ----
+  // A sender that must block until its buffer drains registers a Trigger
+  // against the ticket; the fabric fires it at bottleneck completion (the
+  // same instant the arrival event is scheduled). The registration follows
+  // StorageDevice's Active::done idiom: the *waiter* owns the trigger and
+  // must clear the registration on unwind (kill-safety) — tickets are
+  // generation-checked, so clearing after completion or abort is a no-op.
+
+  /// True while the ticket's transfer is still queued or in flight.
+  bool egress_pending(std::uint64_t ticket) const;
+  /// Registers `t` to fire at the ticket's completion. The ticket must be
+  /// pending; the trigger must outlive the wait (stack + RAII clear).
+  void set_egress_trigger(std::uint64_t ticket, Trigger* t);
+  /// Unregisters; safe on completed/aborted/reused tickets.
+  void clear_egress_trigger(std::uint64_t ticket);
+
+  /// Drops every queued and in-flight transfer originating at `src_node`:
+  /// callbacks are destroyed (never fire), survivors sharing links speed
+  /// up. Messages that already cleared their bottleneck (deliver event
+  /// scheduled) still arrive — the wire cannot be recalled. No-op for flat,
+  /// whose NIC timestamps model no recallable in-flight state.
+  void abort_transfers_from(int src_node);
+
+  /// Pure timing query (no event scheduled, no NIC occupied): the flat
+  /// uncontended transfer time. Under routing this is an estimate.
   Time transfer_duration(std::int64_t bytes) const {
     return from_seconds(params_.per_message_s +
                         static_cast<double>(bytes) / params_.bandwidth_Bps +
@@ -56,12 +115,147 @@ class Network {
   /// Cumulative send() calls (monotone).
   std::int64_t total_messages() const { return total_messages_; }
 
+  // Fabric accounting (routed transfers only; loopback and flat excluded).
+  // Conservation invariant, checked by the torture suite:
+  //   offered == delivered + dropped + (bytes still queued or in flight).
+  std::int64_t fabric_bytes_offered() const { return fabric_offered_; }
+  std::int64_t fabric_bytes_delivered() const { return fabric_delivered_; }
+  std::int64_t fabric_bytes_dropped() const { return fabric_dropped_; }
+
+  /// Transfers currently fair-sharing links / waiting for NIC admission.
+  int active_transfers() const { return active_count_; }
+  int queued_transfers() const { return queued_count_; }
+  /// Admitted transfers currently crossing `link`.
+  std::int32_t link_active(std::int32_t link) const {
+    return link_active_[static_cast<std::size_t>(link)];
+  }
+  std::span<const std::int32_t> link_load() const { return link_active_; }
+
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr double kDoneEpsBytes = 0.5;
+
+  enum class XferState : std::uint8_t { kFree, kQueued, kActive };
+
+  /// One routed transfer. `remaining` is settled lazily (exact only at its
+  /// own settle points); link membership is an intrusive doubly-linked list
+  /// per hop so joins/leaves never allocate.
+  struct Transfer {
+    double remaining = 0;    ///< bytes left at last_settle
+    double rate = 0;         ///< bottleneck share, bytes/s
+    Time last_settle = 0;
+    std::int64_t bytes = 0;
+    std::int32_t src = -1;
+    std::int32_t dst = -1;
+    std::uint32_t est_gen = 0;  ///< invalidates stale heap estimates
+    Time est_time = 0;          ///< fire time of the live heap entry
+    std::uint32_t epoch = 0;    ///< slot-reuse guard for tickets
+    XferState state = XferState::kFree;
+    Route route;
+    SmallFn deliver;
+    Trigger* egress = nullptr;  ///< fired at completion, if registered
+    std::uint32_t next_queued = kNil;  ///< sender FIFO chain
+    std::array<std::uint32_t, Route::kMaxHops> lnext;  ///< member handles
+    std::array<std::uint32_t, Route::kMaxHops> lprev;
+  };
+
+  struct Link {
+    double bandwidth_Bps = 0;
+    std::uint32_t head = kNil;  ///< first member handle
+  };
+
+  /// Per-sender NIC admission: `admitted` in flight, the rest chained FIFO.
+  struct NodeState {
+    std::int32_t admitted = 0;
+    std::uint32_t q_head = kNil;
+    std::uint32_t q_tail = kNil;
+  };
+
+  /// Lazy completion estimate; stale when gen != transfer's est_gen.
+  struct HeapEntry {
+    Time t;
+    std::uint64_t seq;  ///< push order, breaks same-tick ties
+    std::uint32_t xfer;
+    std::uint32_t gen;
+  };
+  struct HeapCmp {
+    bool operator()(const HeapEntry& x, const HeapEntry& y) const {
+      if (x.t != y.t) return x.t > y.t;
+      return x.seq > y.seq;
+    }
+  };
+
+  SendTimes send_flat(int src_node, int dst_node, std::int64_t bytes,
+                      SmallFn deliver, Time now);
+  SendTimes send_routed(int src_node, int dst_node, std::int64_t bytes,
+                        SmallFn deliver, Time now);
+  std::uint64_t make_ticket(std::uint32_t idx) const {
+    return (static_cast<std::uint64_t>(idx + 1) << 32) | pool_[idx].epoch;
+  }
+  /// Resolves a ticket to a live transfer slot, or kNil if stale.
+  std::uint32_t ticket_slot(std::uint64_t ticket) const;
+
+  /// Current fair share of one link: bandwidth * 1/active, via the
+  /// reciprocal table (multiply, not divide — this runs ~1e9 times in a
+  /// 4k-rank coordination storm). All rate producers use this exact
+  /// expression so rate == share comparisons stay bitwise-exact.
+  double share(std::size_t link) const {
+    return links_[link].bandwidth_Bps *
+           recip_[static_cast<std::size_t>(link_active_[link])];
+  }
+
+  std::uint32_t alloc_transfer();
+  void free_transfer(std::uint32_t idx);
+  void admit(std::uint32_t idx, Time now);
+  void complete(std::uint32_t idx, Time now);
+  /// Advances `remaining` to `now` at the pre-change rate.
+  void settle(Transfer& t, Time now);
+  double compute_rate(const Transfer& t) const;
+  void push_estimate(std::uint32_t idx, Time now);
+  /// Pushes a fresh estimate only if it beats the live entry; a live entry
+  /// that fires early is harmless (on_timer re-estimates), one that fires
+  /// late would deliver late, so only improvements need the heap.
+  void maybe_push(std::uint32_t idx, Time now);
+  /// Settles and re-rates the affected members of `link` after a membership
+  /// change (skip = the transfer that triggered it, already fresh).
+  /// `inserted` tells which direction the link's share moved: an insert can
+  /// only clamp members down to the new share (no bottleneck search, no
+  /// heap traffic — their live estimates just fire early), a removal
+  /// re-derives the bottleneck for exactly the members this link was
+  /// bottlenecking.
+  void resettle_members(std::int32_t link, Time now, std::uint32_t skip,
+                        bool inserted);
+  void link_insert(std::int32_t link, std::uint32_t idx, int hop);
+  void link_remove(std::int32_t link, std::uint32_t idx, int hop);
+  void arm_timer();
+  void on_timer();
+  void compact_heap();
+
   Engine* engine_;
   NetParams params_;
-  std::vector<Time> egress_free_;  ///< per-node NIC next-free time
+  int num_nodes_;
+  std::unique_ptr<Topology> topo_;
+  Rng routing_rng_;
+  std::vector<Time> egress_free_;  ///< flat path: per-node NIC next-free
+
+  // Fabric state (sized only under routing).
+  std::vector<Link> links_;
+  std::vector<std::int32_t> link_active_;
+  std::vector<double> recip_;  ///< recip_[a] == 1.0/a, up to peak occupancy
+  std::vector<Transfer> pool_;
+  std::vector<std::uint32_t> free_;
+  std::vector<NodeState> nodes_;
+  std::vector<HeapEntry> heap_;
+  std::uint64_t heap_seq_ = 0;
+  std::uint64_t timer_gen_ = 0;
+  int active_count_ = 0;
+  int queued_count_ = 0;
+
   std::int64_t total_bytes_ = 0;
   std::int64_t total_messages_ = 0;
+  std::int64_t fabric_offered_ = 0;
+  std::int64_t fabric_delivered_ = 0;
+  std::int64_t fabric_dropped_ = 0;
 };
 
 }  // namespace gcr::sim

@@ -77,6 +77,83 @@ TEST(Network, FifoPerSenderPair) {
   for (int i = 0; i < 10; ++i) ASSERT_EQ(order[static_cast<size_t>(i)], i);
 }
 
+TEST(Network, ZeroByteMessageStillPaysLatency) {
+  // A zero-payload message (pure control, e.g. an empty bookmark) occupies
+  // the NIC for per_message only but must still cross the wire: arrival is
+  // one latency after egress, never "now".
+  Engine eng;
+  Network net(eng, 2, fast_params());
+  Time arrived = -1;
+  const auto times = net.send(0, 1, 0, [&] { arrived = eng.now(); });
+  eng.run();
+  EXPECT_EQ(arrived, 100_us);
+  EXPECT_EQ(times.arrival, arrived);
+  EXPECT_EQ(times.egress_done, 0);  // per_message_s == 0 in fast_params
+  EXPECT_EQ(times.ticket, 0u);      // flat sends carry no egress ticket
+}
+
+TEST(Network, ZeroByteSelfSendDeliversStrictlyLater) {
+  Engine eng;
+  NetParams p = fast_params();
+  p.loopback_latency_s = 0;  // adversarial: all costs zero
+  Network net(eng, 2, p);
+  Time arrived = -1;
+  net.send(0, 0, 0, [&] { arrived = eng.now(); });
+  eng.run();
+  EXPECT_EQ(arrived, 1);  // 1-tick floor: delivery is never synchronous
+}
+
+TEST(Network, RoutedZeroBytePaysPerHopLatency) {
+  Engine eng;
+  NetParams p = fast_params();
+  p.topology.kind = TopologyKind::kFatTree;
+  p.topology.fattree_k = 4;
+  p.topology.hop_latency_s = 10e-6;
+  Network net(eng, 16, p);
+  Time arrived = -1;
+  net.send(0, 4, 0, [&] { arrived = eng.now(); });  // cross-pod: 6 hops
+  eng.run();
+  EXPECT_GE(arrived, from_seconds(6 * 10e-6));
+}
+
+TEST(Network, RoutedSendTimesAreEstimatesWithTicket) {
+  Engine eng;
+  NetParams p = fast_params();
+  p.topology.kind = TopologyKind::kFatTree;
+  p.topology.fattree_k = 4;
+  p.topology.hop_latency_s = 0;
+  Network net(eng, 16, p);
+  ASSERT_TRUE(net.routed());
+  Time arrived = -1;
+  const auto times = net.send(0, 4, 1'000'000, [&] { arrived = eng.now(); });
+  ASSERT_NE(times.ticket, 0u);
+  EXPECT_TRUE(net.egress_pending(times.ticket));
+  eng.run();
+  // Uncontended, the estimate is exact (modulo the 1-tick delivery floor).
+  EXPECT_NEAR(to_seconds(arrived), to_seconds(times.arrival), 1e-6);
+  EXPECT_FALSE(net.egress_pending(times.ticket));
+  // Clearing a completed ticket's trigger is a harmless no-op.
+  net.clear_egress_trigger(times.ticket);
+}
+
+TEST(Network, InFlightTransferKilledMidHopNeverDelivers) {
+  Engine eng;
+  NetParams p = fast_params();
+  p.topology.kind = TopologyKind::kFatTree;
+  p.topology.fattree_k = 4;
+  p.topology.hop_latency_s = 0;
+  Network net(eng, 16, p);
+  bool delivered = false;
+  net.send(0, 4, 1'000'000, [&] { delivered = true; });  // 100 ms transfer
+  eng.call_at(50_ms, [&] { net.abort_transfers_from(0); });
+  eng.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.fabric_bytes_dropped(), 1'000'000);
+  EXPECT_EQ(net.fabric_bytes_offered(),
+            net.fabric_bytes_delivered() + net.fabric_bytes_dropped());
+  EXPECT_EQ(net.active_transfers(), 0);
+}
+
 TEST(Network, CountsTraffic) {
   Engine eng;
   Network net(eng, 2, fast_params());
