@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   opt.reps = cli.get_reps(5);
   const bool csv = cli.get_bool("csv", false, "emit CSV");
   const int jobs = cli.get_jobs();
+  opt.shards = cli.get_shards();
   cli.finish();
   opt.restart_after_finish = false;  // 5a/5b only need execution time
 

@@ -16,6 +16,7 @@ struct HplSweepOptions {
   double ckpt_at_s = 60.0;
   double round_spread_s = 0.4;  ///< mpirun per-group propagation window
   bool restart_after_finish = true;
+  int shards = 1;  ///< engine shards per simulation (Cli::get_shards)
   apps::HplParams hpl{};
 };
 
@@ -45,6 +46,7 @@ exp::Scenario hpl_scenario(std::string name, const HplSweepOptions& opt,
     cfg.schedule.first_at_s = opt.ckpt_at_s;
     cfg.schedule.round_spread_s = opt.round_spread_s;
     cfg.restart_after_finish = opt.restart_after_finish;
+    cfg.shards = opt.shards;
     return cfg;
   };
   sc.collect = [collect](const exp::SweepPoint& point,

@@ -10,8 +10,9 @@ if command -v python3 >/dev/null 2>&1; then
 else
   echo "check.sh: python3 not found, skipping scripts/check_docs.py" >&2
 fi
-# Bench ON so the flat-equivalence regression gate (ctest: flat_equivalence,
-# scripts/check_flat_equivalence.sh) builds and runs with the suite.
+# Bench ON so the golden regression gates (ctest: flat_equivalence and
+# shard_equivalence; scripts/check_flat_equivalence.sh and
+# scripts/check_shard_equivalence.sh) build and run with the suite.
 cmake -B build -S . -DGCR_BUILD_BENCH=ON && cmake --build build -j && cd build && ctest --output-on-failure -j
 # Explicit gates on the randomized torture harnesses (also part of the
 # ctest run above; CI additionally runs them under ASan+UBSan).

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Shard-count regression gate: the sharded engine (sim/shard.hpp) must be
+# BIT-deterministic across shard counts — `--shards 1` is the literal
+# single-threaded engine (so it must match the committed goldens exactly),
+# and `--shards 2` / `--shards 4` drive the same runs through the windowed
+# multi-thread coordinator and must reproduce the very same bytes.
+#
+# Compares fig05/fig13 campaign output at the flat-equivalence sweep for
+# S in {1, 2, 4} against tests/golden/*.txt and against each other.
+# Registered as a ctest target when GCR_BUILD_BENCH=ON.
+#
+# Usage: check_shard_equivalence.sh <fig05-binary> <fig13-binary> <golden-dir>
+set -eu
+
+fig05=$1
+fig13=$2
+golden=$3
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for s in 1 2 4; do
+  "$fig05" --procs 16,32 --reps 2 --jobs 4 --shards "$s" > "$tmp/fig05_s$s.txt"
+  "$fig13" --procs 16,32 --reps 2 --jobs 4 --shards "$s" > "$tmp/fig13_s$s.txt"
+done
+
+# Every shard count must reproduce the committed single-threaded goldens.
+for s in 1 2 4; do
+  diff -u "$golden/fig05_procs16_32_reps2.txt" "$tmp/fig05_s$s.txt"
+  diff -u "$golden/fig13_procs16_32_reps2.txt" "$tmp/fig13_s$s.txt"
+done
+
+echo "shard-equivalence: BYTE-IDENTICAL for shards 1, 2, 4"

@@ -1,5 +1,6 @@
 #include "exp/experiment.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "group/formation.hpp"
@@ -19,6 +20,7 @@ sim::ClusterParams make_cluster_params(const ExperimentConfig& config) {
   cp.net.latency_s = config.net_latency_s;
   cp.net.bandwidth_Bps = config.net_bandwidth_Bps;
   cp.net.topology = config.topology;
+  cp.num_shards = config.shards;
   cp.local_disk.bandwidth_Bps = config.disk_bandwidth_Bps;
   cp.local_disk.concurrency = config.storage.direct_concurrency;
   cp.num_remote_servers = config.remote_storage ? config.remote_servers : 0;
@@ -38,6 +40,31 @@ sim::ClusterParams make_cluster_params(const ExperimentConfig& config) {
 }
 
 }  // namespace
+
+std::vector<int> plan_rank_shards(const group::GroupSet& groups, int shards) {
+  GCR_CHECK(shards >= 1);
+  std::vector<int> plan(static_cast<std::size_t>(groups.nranks()), 0);
+  if (shards == 1) return plan;
+  std::vector<int> order(static_cast<std::size_t>(groups.num_groups()));
+  for (std::size_t g = 0; g < order.size(); ++g) {
+    order[g] = static_cast<int>(g);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return groups.members(a).size() > groups.members(b).size();
+  });
+  std::vector<std::size_t> load(static_cast<std::size_t>(shards), 0);
+  for (const int g : order) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < load.size(); ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    for (const mpi::RankId r : groups.members(g)) {
+      plan[static_cast<std::size_t>(r)] = static_cast<int>(best);
+    }
+    load[best] += groups.members(g).size();
+  }
+  return plan;
+}
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   GCR_CHECK(config.app != nullptr);
@@ -74,6 +101,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         runtime, *config.groups, checkpointer, registry, spec.image_bytes,
         metrics, config.protocol_options);
     runtime.set_protocol(group_protocol.get());
+    if (config.shards > 1) {
+      runtime.set_shard_plan(plan_rank_shards(*config.groups, config.shards));
+    }
     if (!config.per_group_intervals.empty()) {
       core::CheckpointScheduler::start_per_group(runtime, *group_protocol,
                                                  config.per_group_intervals);
@@ -111,7 +141,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   runtime.start_app(spec.body);
 
   const sim::Time deadline = sim::from_seconds(config.max_sim_s);
-  cluster.engine().run_while([&] {
+  cluster.shards().run_while([&] {
     return !runtime.job_finished() && cluster.engine().now() < deadline;
   });
 
@@ -129,7 +159,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     const std::size_t before = metrics.restarts.size();
     recovery->restart_all_at(cluster.engine().now() + sim::from_seconds(1.0));
     const std::size_t want = before + static_cast<std::size_t>(config.nranks);
-    cluster.engine().run_while([&] {
+    cluster.shards().run_while([&] {
       return metrics.restarts.size() < want &&
              cluster.engine().now() < deadline + sim::from_seconds(5000);
     });

@@ -67,6 +67,11 @@ struct ExperimentConfig {
   // contention for the scale-extrapolation campaigns. Link bandwidths of 0
   // inherit net_bandwidth_Bps.
   sim::TopologyParams topology;
+  // Engine shards (sim/shard.hpp). 1 (default) is the literal single-
+  // threaded engine; N > 1 drives the run through the conservative-lookahead
+  // window coordinator. Model objects currently live on the home shard
+  // (DESIGN.md §15.3), so outputs are byte-identical across shard counts.
+  int shards = 1;
   // Local image writes land in the page cache first (512 MB nodes); the
   // effective rate seen by the checkpointer is memory-copy-bound, not raw
   // IDE-disk-bound. Calibrated against the paper's Figure 9 image phases.
@@ -138,6 +143,17 @@ struct ExperimentResult {
   double restart_aggregate_s = 0;
   std::vector<core::RestartRecord> restart_records;
 };
+
+/// Group-aligned rank -> engine-shard placement. Checkpoint groups are the
+/// natural partition cut: intra-group traffic is dense and uncoordinated
+/// while cross-group traffic is logged and latency-padded, so every member
+/// of a group lands on one shard. Greedy balance — groups walk largest
+/// first, each landing on the currently least-loaded shard (ties to the
+/// lowest shard index, so the plan is deterministic). With shards == 1 the
+/// plan is all-zero. run_experiment installs this on the Runtime when
+/// config.shards > 1 (Runtime::shard_of); see DESIGN.md §15.3 for why the
+/// plan is placement metadata until the model layers are partitioned.
+std::vector<int> plan_rank_shards(const group::GroupSet& groups, int shards);
 
 ExperimentResult run_experiment(const ExperimentConfig& config);
 

@@ -573,4 +573,20 @@ void Runtime::clear_finished(Rank& rank) {
   }
 }
 
+void Runtime::set_shard_plan(std::vector<int> plan) {
+  GCR_CHECK_MSG(plan.size() == ranks_.size(),
+                "shard plan must cover every rank");
+  const int shards = cluster_->shards().num_shards();
+  for (const int s : plan) {
+    GCR_CHECK_MSG(s >= 0 && s < shards, "shard plan names a missing shard");
+  }
+  shard_plan_ = std::move(plan);
+}
+
+int Runtime::shard_of(RankId rank) const {
+  GCR_ASSERT(rank >= 0 && rank < nranks());
+  if (shard_plan_.empty()) return 0;
+  return shard_plan_[static_cast<std::size_t>(rank)];
+}
+
 }  // namespace gcr::mpi

@@ -169,6 +169,17 @@ class Runtime {
   std::int64_t app_bytes_sent() const { return app_bytes_sent_; }
   std::int64_t app_messages_sent() const { return app_messages_sent_; }
 
+  // ---- shard placement (staged infrastructure; DESIGN.md §15.3) ----
+  /// Installs a rank -> engine-shard plan (exp::plan_rank_shards keeps
+  /// checkpoint groups whole). The model layers all execute on the home
+  /// shard today, so the plan is placement metadata: it names the shard a
+  /// rank's process would spawn on once the rank/network layers are
+  /// partitioned, and it is what the driver will hand to
+  /// ShardedEngine::post_at for cross-shard rank traffic.
+  void set_shard_plan(std::vector<int> plan);
+  /// The planned shard for a rank; 0 (the home shard) when no plan is set.
+  int shard_of(RankId rank) const;
+
  private:
   friend class AppHandle;
 
@@ -193,6 +204,7 @@ class Runtime {
   std::unique_ptr<sim::Trigger> job_done_;
   std::int64_t app_bytes_sent_ = 0;
   std::int64_t app_messages_sent_ = 0;
+  std::vector<int> shard_plan_;  // empty = every rank on the home shard
 };
 
 }  // namespace gcr::mpi

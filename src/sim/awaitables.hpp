@@ -6,6 +6,11 @@
 // in await_resume so kills turn into ProcessKilled unwinds. Handles left in
 // wait queues after a kill are detected with waiter_live() — a recycled
 // slot's bumped generation reads as dead, so nothing needs shared ownership.
+//
+// All of these are shard-local: an awaitable holds one Engine& and its
+// waiter slot lives in that engine's pool, so waiter and firer must share a
+// shard (sim/shard.hpp). To fire a trigger across shards, post_at a
+// callback to the owning shard and fire from there.
 #pragma once
 
 #include <coroutine>

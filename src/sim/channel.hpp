@@ -5,6 +5,11 @@
 // receiver waits are handed over directly; a receiver killed while waiting
 // leaves a stale handle (claimed or generation-bumped) that later pushes
 // skip over via Engine::waiter_live.
+//
+// Shard-local: a channel binds one Engine, so producer and consumer must
+// live on the same shard (sim/shard.hpp). Cross-shard traffic goes through
+// ShardedEngine::post_at, whose delivery callback may then push into a
+// destination-shard channel.
 #pragma once
 
 #include <coroutine>

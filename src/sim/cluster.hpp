@@ -22,6 +22,7 @@
 #include "sim/engine.hpp"
 #include "sim/jitter.hpp"
 #include "sim/network.hpp"
+#include "sim/shard.hpp"
 #include "sim/storage.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -48,6 +49,15 @@ struct StorageTierParams {
 struct ClusterParams {
   int num_nodes = 16;
   std::uint64_t seed = 1;
+  /// Engine shards (sim/shard.hpp). 1 (default) is the literal
+  /// single-threaded engine. With N > 1, the cluster owns N engines driven
+  /// in conservative-lookahead windows; model objects currently all live on
+  /// the home shard (see DESIGN.md §15.3), so peer shards host only
+  /// explicitly-placed work.
+  int num_shards = 1;
+  /// Conservative-lookahead horizon in seconds; 0 derives the minimum
+  /// cross-node latency from `net` (Network::min_remote_latency_s).
+  double lookahead_s = 0;
   NetParams net;
   StorageParams local_disk{/*bandwidth_Bps=*/100e6, /*latency_s=*/5e-3};
   int num_remote_servers = 0;  ///< checkpoint servers (0 = local disk only)
@@ -60,10 +70,15 @@ class Cluster {
  public:
   explicit Cluster(const ClusterParams& params)
       : params_(params),
-        network_(engine_, params.num_nodes, params.net,
+        shards_(params.num_shards,
+                from_seconds(params.lookahead_s > 0
+                                 ? params.lookahead_s
+                                 : Network::min_remote_latency_s(params.net))),
+        network_(shards_.home(), params.num_nodes, params.net,
                  mix_seed(params.seed, /*stream_id=*/0x726f757465)),
         jitter_(params.jitter) {
     GCR_CHECK(params.num_nodes > 0);
+    Engine& engine_ = shards_.home();  // devices all live on the home shard
     local_disks_.reserve(static_cast<std::size_t>(params.num_nodes));
     for (int n = 0; n < params.num_nodes; ++n) {
       local_disks_.push_back(std::make_unique<StorageDevice>(
@@ -88,7 +103,13 @@ class Cluster {
   }
 
   const ClusterParams& params() const { return params_; }
-  Engine& engine() { return engine_; }
+  /// The home shard's engine — where every model object (network, storage,
+  /// protocol daemons) lives. Single-shard clusters are exactly the old
+  /// single-engine cluster.
+  Engine& engine() { return shards_.home(); }
+  /// The shard set; drive runs through this so multi-shard clusters get the
+  /// windowed coordinator (shards().run_while == engine().run_while at S=1).
+  ShardedEngine& shards() { return shards_; }
   Network& network() { return network_; }
   const JitterModel& jitter_model() const { return jitter_; }
 
@@ -143,7 +164,8 @@ class Cluster {
 
  private:
   ClusterParams params_;
-  Engine engine_;
+  /// Declared before every device so the engines are destroyed last.
+  ShardedEngine shards_;
   Network network_;
   JitterModel jitter_;
   std::vector<std::unique_ptr<StorageDevice>> local_disks_;

@@ -140,22 +140,178 @@ void Engine::schedule(Time t, EventKind kind, std::uint32_t slot,
   if (t == now_) {
     due_push(e);
   } else {
-    heap_push(e);
+    wheel_insert(e);
   }
 }
 
+// -------------------------------------------------- hierarchical timing wheel
+
+void Engine::wheel_place(std::uint32_t n) {
+  const Event& e = wheel_pool_[n].ev;
+  const std::uint64_t d = static_cast<std::uint64_t>(e.at) ^
+                          static_cast<std::uint64_t>(wheel_cur_);
+  int lvl = 0;
+  if (d != 0) lvl = (63 - std::countl_zero(d)) / kWheelBits;
+  const std::size_t idx = (static_cast<std::uint64_t>(e.at) >>
+                           (kWheelBits * lvl)) &
+                          (kWheelSlots - 1);
+  WheelSlot& slot = wheel_slots_[static_cast<std::size_t>(lvl) * kWheelSlots +
+                                 idx];
+  wheel_pool_[n].next = kNilNode;
+  if (slot.head == kNilNode) {
+    slot.head = slot.tail = n;
+    wheel_bmp_[static_cast<std::size_t>(lvl)] |= std::uint64_t{1} << idx;
+  } else {
+    wheel_pool_[slot.tail].next = n;
+    slot.tail = n;
+  }
+}
+
+void Engine::wheel_insert(const Event& e) {
+  if (e.at < wheel_cur_) {
+    // Behind the lazily-advanced cursor (but still >= now_): the wheel's
+    // placement rule would wrap, so the heap absorbs it. Rare — only
+    // possible in the gap a speculative peek opened past now_, or for a
+    // cross-shard arrival injected behind an advanced cursor.
+    heap_push(e);
+    return;
+  }
+  const std::uint64_t d = static_cast<std::uint64_t>(e.at) ^
+                          static_cast<std::uint64_t>(wheel_cur_);
+  if ((d >> (kWheelBits * kWheelLevels)) != 0) {
+    heap_push(e);  // beyond the wheel span: far-future overflow tier
+    return;
+  }
+  std::uint32_t n;
+  if (wheel_free_ != kNilNode) {
+    n = wheel_free_;
+    wheel_free_ = wheel_pool_[n].next;
+    wheel_pool_[n].ev = e;
+  } else {
+    n = static_cast<std::uint32_t>(wheel_pool_.size());
+    wheel_pool_.push_back(WheelNode{e, kNilNode});
+  }
+  wheel_place(n);
+  ++wheel_count_;
+}
+
+void Engine::wheel_advance(Time t) {
+  const std::uint64_t diff = static_cast<std::uint64_t>(wheel_cur_) ^
+                             static_cast<std::uint64_t>(t);
+  wheel_cur_ = t;
+  if ((diff >> kWheelBits) == 0) return;  // same level-0 window
+  int top = (63 - std::countl_zero(diff)) / kWheelBits;
+  if (top > kWheelLevels - 1) top = kWheelLevels - 1;
+  // Cascade-on-entry, highest level first: a level's entered slot is
+  // re-scattered one level down before that lower level's own entered slot
+  // is processed, so every event lands (in seq order) before dispatch can
+  // reach it. Cascading relinks pooled nodes — no copies, no allocation.
+  for (int lvl = top; lvl >= 1; --lvl) {
+    const std::size_t idx = (static_cast<std::uint64_t>(t) >>
+                             (kWheelBits * lvl)) &
+                            (kWheelSlots - 1);
+    if ((wheel_bmp_[static_cast<std::size_t>(lvl)] &
+         (std::uint64_t{1} << idx)) == 0) {
+      continue;
+    }
+    WheelSlot& slot =
+        wheel_slots_[static_cast<std::size_t>(lvl) * kWheelSlots + idx];
+    std::uint32_t n = slot.head;
+    slot.head = slot.tail = kNilNode;
+    wheel_bmp_[static_cast<std::size_t>(lvl)] &= ~(std::uint64_t{1} << idx);
+    while (n != kNilNode) {
+      const std::uint32_t next = wheel_pool_[n].next;
+      // The target is strictly below lvl (the entered slot's bucket now
+      // matches the cursor at lvl), so re-placement never revisits this
+      // chain and never overflows to the heap.
+      wheel_place(n);
+      n = next;
+    }
+  }
+}
+
+auto Engine::wheel_peek(Time bound) -> const Event* {
+  while (wheel_count_ != 0) {
+    if (wheel_bmp_[0] != 0) {
+      // Level-0 slots hold one exact nanosecond each; the lowest occupied
+      // index is the wheel's true minimum (higher levels are all later).
+      const int s = std::countr_zero(wheel_bmp_[0]);
+      const Event& front =
+          wheel_pool_[wheel_slots_[static_cast<std::size_t>(s)].head].ev;
+      return front.at <= bound ? &front : nullptr;
+    }
+    int lvl = 1;
+    while (wheel_bmp_[static_cast<std::size_t>(lvl)] == 0) ++lvl;
+    const int s =
+        std::countr_zero(wheel_bmp_[static_cast<std::size_t>(lvl)]);
+    const int shift = kWheelBits * (lvl + 1);
+    const std::uint64_t base = static_cast<std::uint64_t>(wheel_cur_) >>
+                               shift << shift;
+    const Time slot_start = static_cast<Time>(
+        base | (static_cast<std::uint64_t>(s) << (kWheelBits * lvl)));
+    if (slot_start > bound) return nullptr;  // min is certainly > bound
+    wheel_advance(slot_start);
+  }
+  return nullptr;
+}
+
+void Engine::wheel_pop_front() {
+  const int s = std::countr_zero(wheel_bmp_[0]);
+  WheelSlot& slot = wheel_slots_[static_cast<std::size_t>(s)];
+  const std::uint32_t n = slot.head;
+  slot.head = wheel_pool_[n].next;
+  if (slot.head == kNilNode) {
+    slot.tail = kNilNode;
+    wheel_bmp_[0] &= ~(std::uint64_t{1} << s);
+  }
+  wheel_pool_[n].next = wheel_free_;
+  wheel_free_ = n;
+  --wheel_count_;
+}
+
+Time Engine::wheel_lower_bound() const {
+  if (wheel_count_ == 0) return kTimeMax;
+  if (wheel_bmp_[0] != 0) {
+    const int s = std::countr_zero(wheel_bmp_[0]);
+    return wheel_pool_[wheel_slots_[static_cast<std::size_t>(s)].head].ev.at;
+  }
+  int lvl = 1;
+  while (wheel_bmp_[static_cast<std::size_t>(lvl)] == 0) ++lvl;
+  const int s = std::countr_zero(wheel_bmp_[static_cast<std::size_t>(lvl)]);
+  const int shift = kWheelBits * (lvl + 1);
+  const std::uint64_t base = static_cast<std::uint64_t>(wheel_cur_) >> shift
+                             << shift;
+  return static_cast<Time>(
+      base | (static_cast<std::uint64_t>(s) << (kWheelBits * lvl)));
+}
+
 bool Engine::pop_next(Time until, Event& out) {
-  const bool have_due = due_count_ != 0;
-  const bool have_heap = !heap_.empty();
-  if (!have_due && !have_heap) return false;
-  // Due events carry at == now_, so they sort at-or-before every heap
-  // event except same-time entries armed earlier (smaller seq).
-  const bool take_due =
-      have_due && (!have_heap || event_before(due_[due_head_], heap_.front()));
-  const Event& cand = take_due ? due_[due_head_] : heap_.front();
-  if (cand.at > until) return false;
-  out = cand;
-  if (take_due) {
+  // Candidate from the O(1) peeks first (due front, heap top), then ask the
+  // wheel for anything earlier. Bounding the wheel peek by the candidate
+  // keeps cascades from running past the next dispatch, which in turn
+  // guarantees the cursor never overtakes an event we are about to execute.
+  const Event* cand = nullptr;
+  bool cand_due = false;
+  if (due_count_ != 0) {
+    cand = &due_[due_head_];
+    cand_due = true;
+  }
+  if (!heap_.empty() &&
+      (cand == nullptr || event_before(heap_.front(), *cand))) {
+    cand = &heap_.front();
+    cand_due = false;
+  }
+  Time bound = until;
+  if (cand != nullptr && cand->at < bound) bound = cand->at;
+  const Event* w = wheel_peek(bound);
+  const bool take_wheel =
+      w != nullptr && (cand == nullptr || event_before(*w, *cand));
+  const Event* best = take_wheel ? w : cand;
+  if (best == nullptr || best->at > until) return false;
+  out = *best;
+  if (take_wheel) {
+    wheel_pop_front();
+  } else if (cand_due) {
     due_head_ = (due_head_ + 1) & (due_.size() - 1);
     --due_count_;
   } else {
@@ -169,6 +325,10 @@ void Engine::reserve(std::size_t events, std::size_t waiters) {
   // The due ring must also cover `events`: a same-timestamp burst (e.g. a
   // Trigger broadcast fanout) routes every resume through it.
   grow_due(std::bit_ceil(std::max<std::size_t>(events, 64)));
+  // One shared node arena serves every wheel slot, so pre-sizing it by the
+  // workload's concurrent pending events makes the wheel allocation-free
+  // regardless of how those events distribute across slots.
+  wheel_pool_.reserve(events);
   waiter_pool_.reserve(waiters);
   callback_pool_.reserve(events);
   callback_free_.reserve(events);
@@ -344,6 +504,36 @@ std::uint64_t Engine::run_while(const std::function<bool()>& keep_going) {
     ++events_processed_;
   }
   return processed;
+}
+
+std::uint64_t Engine::run_window(Time until,
+                                 const std::function<bool()>* keep_going) {
+  // `until` may lie behind now() (a shard ahead of a peer's horizon gets an
+  // empty window); pop_next then finds nothing, which is the right answer.
+  std::uint64_t processed = 0;
+  Event ev;
+  while ((keep_going == nullptr || (!idle() && (*keep_going)())) &&
+         pop_next(until, ev)) {
+    GCR_ASSERT(ev.at >= now_);
+    now_ = ev.at;
+    dispatch(ev);
+    ++processed;
+    ++events_processed_;
+  }
+  return processed;
+}
+
+Time Engine::next_event_time() {
+  Time best = kTimeMax;
+  if (due_count_ != 0) best = due_[due_head_].at;
+  if (!heap_.empty() && heap_.front().at < best) best = heap_.front().at;
+  // Bounding by the due/heap minimum keeps the cascade work no larger than
+  // the next pop would do anyway; a nullptr answer proves the wheel's
+  // minimum is later than `best`, so `best` is already exact.
+  if (const Event* w = wheel_peek(best); w != nullptr && w->at < best) {
+    best = w->at;
+  }
+  return best;
 }
 
 }  // namespace gcr::sim

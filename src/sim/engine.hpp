@@ -1,16 +1,21 @@
 // Discrete-event engine driving coroutine processes.
 //
 // Single-threaded. Events are totally ordered by (time, insertion sequence),
-// so one seed gives bit-identical runs. The queue is two structures sharing
-// one sequence space: events scheduled at the current timestamp (claimed
-// resumes, post(), zero-delay timers — the bulk of channel/protocol
-// traffic) go through an O(1) FIFO ring, and future events through a flat,
-// reserve()-able 4-ary min-heap of 24-byte typed Event records — a tagged
-// union of {waiter resume, armed timer, small callback}. Dispatch always
-// takes the globally smallest (time, seq), so the split is invisible to
-// ordering. Steady-state traffic never touches the allocator: waiters live
-// in an engine-owned slot pool recycled through a free list, and callback
-// captures sit in SmallFn small-buffer storage pooled the same way.
+// so one seed gives bit-identical runs. The queue is three structures
+// sharing one sequence space: events scheduled at the current timestamp
+// (claimed resumes, post(), zero-delay timers — the bulk of channel/protocol
+// traffic) go through an O(1) FIFO ring; future events land in a
+// hierarchical timing wheel (8 levels x 64 slots, 6 bits of nanoseconds per
+// level — O(1) insert, lazily cascaded toward level 0 as the cursor
+// advances; see DESIGN.md §15.1); and events beyond the wheel's ~78-hour
+// span — or behind its lazily-advanced cursor — overflow into a flat,
+// reserve()-able 4-ary min-heap. All three hold 24-byte typed Event records
+// — a tagged union of {waiter resume, armed timer, small callback}.
+// Dispatch always takes the globally smallest (time, seq), so the split is
+// invisible to ordering. Steady-state traffic never touches the allocator:
+// waiters live in an engine-owned slot pool recycled through a free list,
+// callback captures sit in SmallFn small-buffer storage pooled the same
+// way, and wheel slot vectors keep their high-water capacity.
 //
 // Waiter protocol: a suspended coroutine registers exactly one pooled waiter
 // slot and gets back a generation-counted WaiterHandle. Exactly one
@@ -28,6 +33,7 @@
 // generation counter instead of shared ownership. See DESIGN.md §2.1.
 #pragma once
 
+#include <array>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
@@ -130,8 +136,23 @@ class Engine {
   /// draining long-lived daemons' future events.
   std::uint64_t run_while(const std::function<bool()>& keep_going);
 
+  /// Bounded-window variant used by the sharded driver (sim/shard.hpp):
+  /// like run(until) but never force-advances now() past the last executed
+  /// event, so repeated windows leave the clock exactly where a single
+  /// uninterrupted run would. `keep_going` (optional) is checked before
+  /// each event, as in run_while.
+  std::uint64_t run_window(Time until,
+                           const std::function<bool()>* keep_going = nullptr);
+
+  /// Exact timestamp of the earliest pending event, or kTimeMax if idle.
+  /// May lazily cascade wheel slots (state mutation invisible to ordering).
+  /// The conservative-lookahead horizon computation relies on exactness.
+  Time next_event_time();
+
   /// True if no events remain.
-  bool idle() const { return heap_.empty() && due_count_ == 0; }
+  bool idle() const {
+    return heap_.empty() && due_count_ == 0 && wheel_count_ == 0;
+  }
 
   // --- awaitable support (used by awaitables.hpp / channel.hpp etc.) ---
   /// Registers the currently-running process's suspension in the waiter
@@ -173,7 +194,14 @@ class Engine {
   // --- introspection (tests, stress harnesses) ---
   /// Total waiter slots ever created; stays flat once the pool recycles.
   std::size_t waiter_pool_size() const { return waiter_pool_.size(); }
-  std::size_t event_queue_depth() const { return heap_.size() + due_count_; }
+  std::size_t event_queue_depth() const {
+    return heap_.size() + due_count_ + wheel_count_;
+  }
+  /// Events currently parked in wheel slots (excludes due ring and the
+  /// overflow heap).
+  std::size_t timer_wheel_depth() const { return wheel_count_; }
+  /// Events in the far-future / behind-cursor overflow heap.
+  std::size_t overflow_heap_depth() const { return heap_.size(); }
 
  private:
   enum EventKind : std::uint64_t {
@@ -209,12 +237,57 @@ class Engine {
   std::uint64_t next_key(EventKind kind) {
     return (next_seq_++ << 2) | static_cast<std::uint64_t>(kind);
   }
-  /// Routes to the due ring (t == now) or the heap (future).
+  // --- hierarchical timing wheel (DESIGN.md §15.1) ---
+  // Level L buckets nanoseconds by bits [6L, 6L+6); a slot chains the
+  // events of one bucket in insertion (= seq) order through an intrusive
+  // linked list over a pooled node array, so appends, cascades (relinks,
+  // no copies) and pops are O(1) and allocation-free once the pool — one
+  // shared arena sized by total pending events, not per slot — is warm.
+  // The cursor trails dispatch: it only moves (lazily, during peeks) to
+  // the start of the lowest occupied slot, cascading that slot's events
+  // one level down. Invariants: every wheel event's time is >= wheel_cur_
+  // (late arrivals — only possible behind an advanced cursor — divert to
+  // the heap), and each slot chain is seq-sorted (cascade-on-entry
+  // delivers a bucket's older events before any direct insert can target
+  // it). Level-0 slots hold exactly one absolute nanosecond, so their
+  // heads are exact minima.
+  static constexpr int kWheelBits = 6;
+  static constexpr int kWheelSlots = 1 << kWheelBits;
+  static constexpr int kWheelLevels = 8;
+  static constexpr std::uint32_t kNilNode = 0xffffffffu;
+
+  struct WheelNode {
+    Event ev;
+    std::uint32_t next = kNilNode;
+  };
+  struct WheelSlot {
+    std::uint32_t head = kNilNode;
+    std::uint32_t tail = kNilNode;
+  };
+
+  /// Routes to the due ring (t == now), a wheel slot, or the heap.
   void schedule(Time t, EventKind kind, std::uint32_t slot, std::uint32_t gen);
   void heap_push(const Event& e);
   void heap_pop_top();
   void grow_due(std::size_t capacity_pow2);
   void due_push(const Event& e);
+  /// O(1): places e by the highest bit-group where e.at differs from the
+  /// cursor; beyond level 7 (or behind the cursor) overflows to the heap.
+  void wheel_insert(const Event& e);
+  /// Appends pooled node n to the slot its event's time selects against the
+  /// current cursor (caller has ruled out the heap cases).
+  void wheel_place(std::uint32_t n);
+  /// Moves the cursor to t (<= every pending wheel event), cascading the
+  /// entered slot at each level the jump crosses, highest level first.
+  void wheel_advance(Time t);
+  /// Exact earliest wheel event if its time is <= bound, else nullptr.
+  /// Cascades as needed; never advances the cursor past `bound`.
+  const Event* wheel_peek(Time bound);
+  /// Removes the event wheel_peek() just returned (level-0 head).
+  void wheel_pop_front();
+  /// Earliest possible wheel event time without cascading: exact when level
+  /// 0 is occupied, otherwise the lowest occupied slot's start time.
+  Time wheel_lower_bound() const;
   /// Pops the globally smallest event if its time is <= until.
   bool pop_next(Time until, Event& out);
   void dispatch(const Event& ev);
@@ -230,10 +303,20 @@ class Engine {
   std::size_t live_processes_ = 0;
   Proc* current_ = nullptr;
 
-  std::vector<Event> heap_;  ///< 4-ary min-heap of future events
+  std::vector<Event> heap_;  ///< 4-ary min-heap: overflow/far-future events
+
+  /// Timing-wheel storage: slot (level, idx) lives at [level*64 + idx];
+  /// nodes are pooled and recycled through an intrusive free list.
+  std::array<WheelSlot, kWheelLevels * kWheelSlots> wheel_slots_{};
+  std::array<std::uint64_t, kWheelLevels> wheel_bmp_{};  ///< slot occupancy
+  std::vector<WheelNode> wheel_pool_;
+  std::uint32_t wheel_free_ = kNilNode;
+  std::size_t wheel_count_ = 0;
+  Time wheel_cur_ = 0;
 
   /// Power-of-two ring of events due at now_; drained (in seq order,
-  /// interleaved with same-time heap entries) before the clock advances.
+  /// interleaved with same-time wheel/heap entries) before the clock
+  /// advances.
   std::vector<Event> due_;
   std::size_t due_head_ = 0;
   std::size_t due_count_ = 0;

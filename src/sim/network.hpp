@@ -102,6 +102,24 @@ class Network {
   /// whose NIC timestamps model no recallable in-flight state.
   void abort_transfers_from(int src_node);
 
+  /// Lower bound on the time any message between two distinct nodes spends
+  /// in flight — the sharded engine's conservative lookahead (sim/shard.hpp).
+  /// Flat: the wire latency. Routed: fewest cross-node hops times the
+  /// per-hop latency (queueing and serialization only add to that).
+  double min_remote_latency_s() const {
+    return routed()
+               ? topo_->min_cross_hops() * params_.topology.hop_latency_s
+               : params_.latency_s;
+  }
+  /// Same bound derived from parameters alone, for use before a Network
+  /// exists (cluster construction orders shards before the fabric). Routed
+  /// topologies all satisfy min_cross_hops >= 2.
+  static double min_remote_latency_s(const NetParams& p) {
+    return p.topology.kind == TopologyKind::kFlat
+               ? p.latency_s
+               : 2.0 * p.topology.hop_latency_s;
+  }
+
   /// Pure timing query (no event scheduled, no NIC occupied): the flat
   /// uncontended transfer time. Under routing this is an estimate.
   Time transfer_duration(std::int64_t bytes) const {

@@ -1,0 +1,175 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <tuple>
+
+#include "util/assert.hpp"
+
+namespace gcr::sim {
+
+ShardedEngine::ShardedEngine(int num_shards, Time lookahead)
+    : lookahead_(std::max<Time>(1, lookahead)) {
+  GCR_CHECK_MSG(num_shards >= 1, "need at least one shard");
+  engines_.reserve(static_cast<std::size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    engines_.push_back(std::make_unique<Engine>());
+  }
+  const std::size_t s = static_cast<std::size_t>(num_shards);
+  box_.resize(s * s);
+  merge_.resize(s);
+  next_time_.assign(s, kTimeMax);
+  window_until_.assign(s, kTimeMax);
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+void ShardedEngine::post_at(int from, int to, Time t, SmallFn fn) {
+  GCR_ASSERT(from >= 0 && from < num_shards());
+  GCR_ASSERT(to >= 0 && to < num_shards());
+  if (from == to) {
+    shard(to).call_at(t, std::move(fn));
+    return;
+  }
+  // The conservative protocol is only sound if a cross-shard effect cannot
+  // land inside the destination's current window: arrival must trail the
+  // sender's clock by at least the lookahead the horizons were built from.
+  GCR_CHECK_MSG(t >= shard(from).now() + lookahead_,
+                "cross-shard post violates the lookahead horizon");
+  box_[static_cast<std::size_t>(from) * static_cast<std::size_t>(num_shards()) +
+       static_cast<std::size_t>(to)]
+      .push_back(Msg{t, std::move(fn)});
+}
+
+void ShardedEngine::drain_inbox(int dst) {
+  const std::size_t s = static_cast<std::size_t>(num_shards());
+  std::vector<MergeRef>& refs = merge_[static_cast<std::size_t>(dst)];
+  refs.clear();
+  for (std::size_t src = 0; src < s; ++src) {
+    const std::vector<Msg>& b = box_[src * s + static_cast<std::size_t>(dst)];
+    for (std::size_t k = 0; k < b.size(); ++k) {
+      refs.push_back(MergeRef{b[k].at, static_cast<std::uint32_t>(src),
+                              static_cast<std::uint32_t>(k)});
+    }
+  }
+  if (refs.empty()) return;
+  // Deterministic destination sequencing: arrivals merge by (time, source
+  // shard, send order), so the seq numbers call_at hands out do not depend
+  // on which thread filled which mailbox first.
+  std::sort(refs.begin(), refs.end(), [](const MergeRef& a, const MergeRef& b) {
+    return std::tie(a.at, a.src, a.idx) < std::tie(b.at, b.src, b.idx);
+  });
+  Engine& eng = shard(dst);
+  for (const MergeRef& r : refs) {
+    Msg& m = box_[static_cast<std::size_t>(r.src) * s +
+                  static_cast<std::size_t>(dst)][r.idx];
+    eng.call_at(m.at, std::move(m.fn));
+  }
+  for (std::size_t src = 0; src < s; ++src) {
+    box_[src * s + static_cast<std::size_t>(dst)].clear();
+  }
+}
+
+std::uint64_t ShardedEngine::drive(Time until,
+                                   const std::function<bool()>* keep_going) {
+  const int s = num_shards();
+  if (s == 1) {
+    // The literal single-threaded path: no threads, no barriers, no
+    // mailboxes — byte-identical to driving the Engine directly.
+    return keep_going != nullptr ? engines_[0]->run_while(*keep_going)
+                                 : engines_[0]->run(until);
+  }
+
+  stop_.store(false, std::memory_order_relaxed);
+  done_ = false;
+
+  auto completion = [this, until, s]() noexcept {
+    Time g = kTimeMax;
+    for (const Time t : next_time_) g = std::min(g, t);
+    done_ = g == kTimeMax || g > until ||
+            stop_.load(std::memory_order_relaxed);
+    for (int i = 0; i < s; ++i) {
+      Time h = kTimeMax;
+      for (int j = 0; j < s; ++j) {
+        if (j != i) h = std::min(h, next_time_[static_cast<std::size_t>(j)]);
+      }
+      // Safe horizon: peers' earliest sends arrive >= h + lookahead, so
+      // everything strictly before that — i.e. <= h + lookahead - 1 — is
+      // causally closed for this shard. Idle peers (h == kTimeMax) never
+      // constrain the window.
+      if (h < kTimeMax - lookahead_) {
+        h = h + lookahead_ - 1;
+      } else {
+        h = kTimeMax;
+      }
+      window_until_[static_cast<std::size_t>(i)] = std::min(h, until);
+    }
+  };
+
+  std::barrier plan(s, completion);
+  std::barrier<> quiesce(s);
+  std::vector<std::uint64_t> processed(static_cast<std::size_t>(s), 0);
+
+  auto worker = [&](int i) {
+    Engine& eng = *engines_[static_cast<std::size_t>(i)];
+    const std::function<bool()>* pred = i == 0 ? keep_going : nullptr;
+    while (true) {
+      // Producers quiesced at the previous barrier; merge this round's
+      // arrivals, then publish the exact next-event time for the horizon
+      // computation in the plan barrier's completion.
+      drain_inbox(i);
+      next_time_[static_cast<std::size_t>(i)] = eng.next_event_time();
+      plan.arrive_and_wait();
+      if (done_) break;
+      processed[static_cast<std::size_t>(i)] +=
+          eng.run_window(window_until_[static_cast<std::size_t>(i)], pred);
+      if (pred != nullptr && !(*pred)()) {
+        stop_.store(true, std::memory_order_relaxed);
+      }
+      quiesce.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(s) - 1);
+  for (int i = 1; i < s; ++i) threads.emplace_back(worker, i);
+  worker(0);
+  for (std::thread& t : threads) t.join();
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : processed) total += n;
+  if (keep_going == nullptr) {
+    // Apply Engine::run's end-of-run clock-advance rule per shard (the
+    // queues hold nothing at or before `until`, so this dispatches nothing).
+    for (const std::unique_ptr<Engine>& e : engines_) total += e->run(until);
+  }
+  return total;
+}
+
+std::uint64_t ShardedEngine::run(Time until) { return drive(until, nullptr); }
+
+std::uint64_t ShardedEngine::run_while(
+    const std::function<bool()>& keep_going) {
+  return drive(kTimeMax, &keep_going);
+}
+
+bool ShardedEngine::idle() const {
+  for (const std::unique_ptr<Engine>& e : engines_) {
+    if (!e->idle()) return false;
+  }
+  for (const std::vector<Msg>& b : box_) {
+    if (!b.empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t ShardedEngine::events_processed() const {
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<Engine>& e : engines_) {
+    total += e->events_processed();
+  }
+  return total;
+}
+
+}  // namespace gcr::sim

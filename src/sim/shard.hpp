@@ -1,0 +1,124 @@
+// Sharded parallel event engine: S single-threaded Engines advanced in
+// conservative-lookahead windows on S threads (DESIGN.md §15).
+//
+// Protocol (synchronous windowed, YAWNS-style): each round, every shard
+// publishes the exact timestamp of its earliest pending event (T_i, kTimeMax
+// when idle); a barrier completion computes per-shard horizons
+//
+//   U_i = min_{j != i} (T_j) + lookahead - 1
+//
+// and each shard dispatches its events with time <= U_i in parallel. The
+// lookahead L is the minimum cross-shard delivery latency (derived from the
+// network fabric, clamped to >= 1 ns), so nothing a peer does this round can
+// schedule work on shard i at or before U_i — every cross-shard message
+// sent from time T_j arrives at >= T_j + L > U_i. Idle shards publish
+// kTimeMax and therefore never constrain anyone: a run whose activity lives
+// on one shard executes in a single unbounded window.
+//
+// Cross-shard traffic goes through per-(src,dst) SPSC mailboxes: the source
+// thread appends during its window (it is the only writer), a barrier
+// separates the window from the drain, and the destination merges all of
+// its inboxes sorted by (arrival time, source shard, send order) before
+// re-entering its engine through call_at. Destination sequence numbers are
+// therefore assigned in a deterministic order — dispatch is bit-identical
+// for a given shard count regardless of thread scheduling, and workloads
+// whose cross-shard sends carry fixed arrival times replay byte-identically
+// across shard counts.
+//
+// num_shards() == 1 is the literal existing single-threaded path: run and
+// run_while forward straight to Engine with no threads, no barriers and no
+// mailboxes.
+//
+// Waiter handles, channels and awaitables stay shard-local (they hold a
+// reference to one Engine); the only legal cross-shard edge is post_at.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/smallfn.hpp"
+#include "sim/time.hpp"
+
+namespace gcr::sim {
+
+class ShardedEngine {
+ public:
+  /// `lookahead` is the conservative horizon increment: the minimum time a
+  /// cross-shard message spends in flight. Clamped to >= 1 ns — a zero
+  /// lookahead cannot order sender and receiver and would deadlock the
+  /// window protocol.
+  explicit ShardedEngine(int num_shards, Time lookahead = 1);
+  ~ShardedEngine();
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int num_shards() const { return static_cast<int>(engines_.size()); }
+  Time lookahead() const { return lookahead_; }
+
+  /// Shard s's engine. Model objects built against shard(s) (channels,
+  /// awaitables, storage devices) are owned by that shard's thread during
+  /// run — they must not be touched from another shard.
+  Engine& shard(int s) { return *engines_[static_cast<std::size_t>(s)]; }
+  const Engine& shard(int s) const {
+    return *engines_[static_cast<std::size_t>(s)];
+  }
+  /// The coordinator shard (shard 0): hosts run_while predicates and, until
+  /// the model layers are partitioned, the experiment's rank processes.
+  Engine& home() { return *engines_[0]; }
+
+  /// Schedules `fn` on shard `to` at absolute time t. Same-shard calls
+  /// forward to call_at unrestricted. Cross-shard calls must respect the
+  /// lookahead (t >= shard(from).now() + lookahead, checked) and must be
+  /// made from shard `from`'s thread (its window) or while no run is in
+  /// progress.
+  void post_at(int from, int to, Time t, SmallFn fn);
+
+  /// Runs all shards until every queue drains or every next event lies
+  /// beyond `until`. Events at exactly `until` execute. Applies Engine::
+  /// run's clock-advance rule per shard on return. Returns total events.
+  std::uint64_t run(Time until = kTimeMax);
+
+  /// Runs while `keep_going()` is true, evaluated on shard 0 between its
+  /// events (the existing run_while contract). When it turns false, peer
+  /// shards finish their in-flight window (conservative: those events are
+  /// concurrent with the stop decision) and the run returns.
+  std::uint64_t run_while(const std::function<bool()>& keep_going);
+
+  /// True when every shard's queue and every mailbox is empty.
+  bool idle() const;
+  /// Sum of events dispatched across shards (monotone).
+  std::uint64_t events_processed() const;
+
+ private:
+  struct Msg {
+    Time at;
+    SmallFn fn;
+  };
+
+  std::uint64_t drive(Time until, const std::function<bool()>* keep_going);
+  void drain_inbox(int dst);
+
+  Time lookahead_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  /// box_[src * S + dst]: appended by src's thread during a window, drained
+  /// by dst's thread after the quiesce barrier (barrier gives happens-
+  /// before, so plain vectors are race-free).
+  std::vector<std::vector<Msg>> box_;
+  /// Merge staging: (at, src, send index) keys sorted before insertion.
+  struct MergeRef {
+    Time at;
+    std::uint32_t src;
+    std::uint32_t idx;
+  };
+  std::vector<std::vector<MergeRef>> merge_;   // per dst, reused
+  std::vector<Time> next_time_;                // T_i, barrier-synced
+  std::vector<Time> window_until_;             // U_i, barrier-synced
+  std::atomic<bool> stop_{false};              // pred turned false
+  bool done_ = false;                          // barrier completion verdict
+};
+
+}  // namespace gcr::sim

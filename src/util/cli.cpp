@@ -107,6 +107,15 @@ int Cli::get_jobs() {
   return static_cast<int>(jobs);
 }
 
+int Cli::get_shards() {
+  const std::int64_t shards =
+      get_int("shards", 1, "engine shards per simulation (1 = single-thread)");
+  if (shards < 1 || shards > 64) {
+    usage_error(program_, "--shards must be in 1..64");
+  }
+  return static_cast<int>(shards);
+}
+
 int Cli::get_reps(int def) {
   const std::int64_t reps = get_int("reps", def, "repetitions (seeds 1..n)");
   if (reps < 1 || reps > 1000000) {

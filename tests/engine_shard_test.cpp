@@ -1,0 +1,305 @@
+// Sharded engine + hierarchical timing wheel: cross-shard merge ordering,
+// lookahead clamping, byte-identical replay across shard counts, kill of a
+// waiter with a cross-shard resume already mailboxed, wheel cascade
+// boundaries (level edges and beyond-span overflow), cancel-after-cascade,
+// and the group-aligned rank->shard placement plan.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "group/group.hpp"
+#include "sim/awaitables.hpp"
+#include "sim/engine.hpp"
+#include "sim/shard.hpp"
+
+namespace gcr::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hierarchical timing wheel (single engine)
+// ---------------------------------------------------------------------------
+
+TEST(TimingWheel, CascadeBoundaryOffsets) {
+  // Offsets straddling every level edge (6 bits per level): the last slot
+  // of a level, the first slot of the next, and one past it — scheduled in
+  // scrambled order so dispatch order is purely the wheel's doing.
+  const std::vector<Time> offsets = {
+      4096, 1,      63,     64,    65,     4095,   4097,   262143,
+      262144, 262145, 16777215, 16777216, 2, 100000, 524288, 3};
+  Engine eng;
+  std::vector<Time> fired;
+  for (const Time t : offsets) {
+    eng.call_at(t, [&eng, &fired] { fired.push_back(eng.now()); });
+  }
+  eng.run();
+  std::vector<Time> want = offsets;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(fired, want);
+}
+
+TEST(TimingWheel, SameSlotPreservesInsertionOrder) {
+  // Two callbacks at the same instant dispatch in scheduling order (seq),
+  // including after the slot's chain has cascaded down a level.
+  Engine eng;
+  std::vector<int> order;
+  eng.call_at(70'000, [&order] { order.push_back(1); });
+  eng.call_at(70'000, [&order] { order.push_back(2); });
+  eng.call_at(69'000, [&order] { order.push_back(0); });  // forces a cascade
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TimingWheel, FarFutureOverflowBeyondWheelSpan) {
+  // Anything past the wheel's 2^48 ns span lands in the overflow heap and
+  // still dispatches in exact (time, seq) order.
+  Engine eng;
+  const Time beyond = (Time{1} << 48) + 12'345;
+  std::vector<Time> fired;
+  eng.call_at(beyond, [&eng, &fired] { fired.push_back(eng.now()); });
+  eng.call_at(500, [&eng, &fired] { fired.push_back(eng.now()); });
+  eng.call_at(beyond + 1, [&eng, &fired] { fired.push_back(eng.now()); });
+  eng.run();
+  EXPECT_EQ(fired, (std::vector<Time>{500, beyond, beyond + 1}));
+}
+
+TEST(TimingWheel, NextEventTimeIsExactWithoutDispatch) {
+  Engine eng;
+  EXPECT_EQ(eng.next_event_time(), kTimeMax);
+  eng.call_at(123'456, [] {});
+  EXPECT_EQ(eng.next_event_time(), 123'456);
+  EXPECT_EQ(eng.now(), 0u);  // the query never advances the clock
+  eng.call_at(99, [] {});
+  EXPECT_EQ(eng.next_event_time(), 99);
+  eng.run();
+  EXPECT_EQ(eng.next_event_time(), kTimeMax);
+}
+
+TEST(TimingWheel, CancelAfterCascade) {
+  // A far-future timer whose node has already cascaded toward level 0 is
+  // abandoned when its process is killed first: the stale wheel entry must
+  // dispatch as a no-op instead of resuming the dead coroutine.
+  Engine eng;
+  bool resumed_normally = false;
+  ExitKind exit = ExitKind::kFinished;
+  auto body = [](Engine& e, bool* flag) -> Co<void> {
+    co_await delay(e, 70'000);
+    *flag = true;
+  };
+  ProcPtr proc = eng.spawn("sleeper", body(eng, &resumed_normally),
+                           [&exit](Proc&, ExitKind k) { exit = k; });
+  // 69'000 sits one cascade short of the timer's slot: dispatching it drags
+  // the cursor (and the 70'000 node) down a level before the kill lands.
+  eng.call_at(69'000, [&eng, proc] { eng.kill(*proc); });
+  eng.run();
+  EXPECT_FALSE(resumed_normally);
+  EXPECT_EQ(exit, ExitKind::kKilled);
+  EXPECT_FALSE(proc->alive());
+  EXPECT_TRUE(eng.idle());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engine
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEngine, LookaheadIsClampedToOneNanosecond) {
+  // Zero lookahead cannot order sender against receiver; the constructor
+  // clamps instead of letting the window protocol deadlock.
+  ShardedEngine se(2, /*lookahead=*/0);
+  EXPECT_EQ(se.lookahead(), 1u);
+}
+
+TEST(ShardedEngine, CrossShardArrivalsMergeByTimeSourceSendOrder) {
+  ShardedEngine se(3, /*lookahead=*/10);
+  std::vector<std::string> log;
+  // Posted in an order unrelated to the required (time, src, idx) merge.
+  se.post_at(2, 0, 100, [&log] { log.push_back("t100/src2/#0"); });
+  se.post_at(1, 0, 100, [&log] { log.push_back("t100/src1/#0"); });
+  se.post_at(1, 0, 100, [&log] { log.push_back("t100/src1/#1"); });
+  se.post_at(2, 0, 50, [&log] { log.push_back("t50/src2/#0"); });
+  se.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"t50/src2/#0", "t100/src1/#0",
+                                           "t100/src1/#1", "t100/src2/#0"}));
+  EXPECT_TRUE(se.idle());
+}
+
+TEST(ShardedEngine, SingleShardMatchesBareEngine) {
+  auto load = [](Engine& eng, std::vector<Time>& fired) {
+    for (int i = 1; i <= 200; ++i) {
+      eng.call_at(static_cast<Time>(i) * 37, [&eng, &fired] {
+        fired.push_back(eng.now());
+      });
+    }
+  };
+  Engine bare;
+  std::vector<Time> bare_fired;
+  load(bare, bare_fired);
+  const std::uint64_t bare_n = bare.run(5'000);
+
+  ShardedEngine se(1);
+  std::vector<Time> sharded_fired;
+  load(se.home(), sharded_fired);
+  const std::uint64_t sharded_n = se.run(5'000);
+
+  EXPECT_EQ(bare_fired, sharded_fired);
+  EXPECT_EQ(bare_n, sharded_n);
+  EXPECT_EQ(bare.now(), se.home().now());
+}
+
+/// Token ring over K logical parties pinned to shards round-robin, plus
+/// per-party local timer noise — the partitioned workload used for the
+/// cross-shard determinism checks. Every hop carries a fixed arrival time
+/// (DELTA >= lookahead), so its trace must not depend on the shard count.
+struct TokenRing {
+  static constexpr int kParties = 4;
+  static constexpr Time kDelta = 1'009;
+
+  ShardedEngine* se;
+  int hops_left;
+  std::array<std::vector<Time>, kParties> arrivals;
+
+  int shard_of(int party) const { return party % se->num_shards(); }
+
+  void launch(int hops) {
+    hops_left = hops;
+    for (int p = 0; p < kParties; ++p) {
+      Engine& eng = se->shard(shard_of(p));
+      for (int i = 1; i <= 150; ++i) {
+        eng.call_at(static_cast<Time>(i) * 777 + 13 * p + 7, [] {});
+      }
+    }
+    se->post_at(0, 0, 1'000, [this] { arrive(0); });
+  }
+
+  void arrive(int party) {
+    const Time t = se->shard(shard_of(party)).now();
+    arrivals[static_cast<std::size_t>(party)].push_back(t);
+    if (--hops_left <= 0) return;
+    const int next = (party + 1) % kParties;
+    se->post_at(shard_of(party), shard_of(next), t + kDelta,
+                [this, next] { arrive(next); });
+  }
+};
+
+TEST(ShardedEngine, TokenRingIsIdenticalAcrossShardCounts) {
+  std::array<std::vector<Time>, TokenRing::kParties> golden;
+  std::uint64_t golden_events = 0;
+  for (const int shards : {1, 2, 4}) {
+    ShardedEngine se(shards, /*lookahead=*/100);
+    TokenRing ring{&se, 0, {}};
+    ring.launch(/*hops=*/60);
+    se.run();
+    EXPECT_TRUE(se.idle());
+    if (shards == 1) {
+      golden = ring.arrivals;
+      golden_events = se.events_processed();
+      continue;
+    }
+    EXPECT_EQ(ring.arrivals, golden) << "shards=" << shards;
+    EXPECT_EQ(se.events_processed(), golden_events) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedEngine, ThreadedRerunIsDeterministic) {
+  std::array<std::vector<Time>, TokenRing::kParties> first;
+  for (int rep = 0; rep < 2; ++rep) {
+    ShardedEngine se(4, /*lookahead=*/100);
+    TokenRing ring{&se, 0, {}};
+    ring.launch(/*hops=*/60);
+    se.run();
+    if (rep == 0) {
+      first = ring.arrivals;
+    } else {
+      EXPECT_EQ(ring.arrivals, first);
+    }
+  }
+}
+
+TEST(ShardedEngine, KillWhileCrossShardResumeIsMailboxed) {
+  // A peer shard mails a trigger-fire for t=200, but the waiter is killed
+  // at t=50 on its home shard. The mailboxed fire must dispatch as a no-op
+  // against the recycled waiter slot (generation check), not resume the
+  // dead coroutine.
+  ShardedEngine se(2, /*lookahead=*/100);
+  Engine& home = se.home();
+  Trigger tr(home);
+  bool resumed_normally = false;
+  ExitKind exit = ExitKind::kFinished;
+  auto body = [](Trigger& t, bool* flag) -> Co<void> {
+    co_await t.wait();
+    *flag = true;
+  };
+  ProcPtr proc = home.spawn("waiter", body(tr, &resumed_normally),
+                            [&exit](Proc&, ExitKind k) { exit = k; });
+  home.call_at(50, [&home, proc] { home.kill(*proc); });
+  se.post_at(1, 0, 200, [&tr] { tr.fire(); });
+  se.run();
+  EXPECT_FALSE(resumed_normally);
+  EXPECT_EQ(exit, ExitKind::kKilled);
+  EXPECT_TRUE(tr.fired());
+  EXPECT_TRUE(se.idle());
+}
+
+TEST(ShardedEngine, RunWhileStopsOnShardZeroPredicate) {
+  ShardedEngine se(2, /*lookahead=*/100);
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 1; i <= 1'000; ++i) {
+      se.shard(s).call_at(static_cast<Time>(i) * 10, [] {});
+    }
+  }
+  int home_fired = 0;
+  se.home().call_at(5'000, [&home_fired] { ++home_fired; });
+  const std::uint64_t n =
+      se.run_while([&home_fired] { return home_fired == 0; });
+  EXPECT_GT(home_fired, 0);
+  EXPECT_FALSE(se.idle());  // stopped early, future events remain
+  EXPECT_GT(n, 0u);
+}
+
+}  // namespace
+}  // namespace gcr::sim
+
+namespace gcr::exp {
+namespace {
+
+group::GroupSet make_groups(int nranks,
+                            std::vector<std::vector<mpi::RankId>> members) {
+  return group::GroupSet(nranks, std::move(members));
+}
+
+TEST(RankShardPlan, GroupsStayWholeAndLoadsBalance) {
+  const group::GroupSet groups =
+      make_groups(12, {{0, 1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {10, 11}});
+  const std::vector<int> plan = plan_rank_shards(groups, 2);
+  ASSERT_EQ(plan.size(), 12u);
+  std::vector<int> load(2, 0);
+  for (int g = 0; g < groups.num_groups(); ++g) {
+    const int shard = plan[static_cast<std::size_t>(groups.members(g)[0])];
+    for (const mpi::RankId r : groups.members(g)) {
+      EXPECT_EQ(plan[static_cast<std::size_t>(r)], shard)
+          << "group " << g << " split across shards";
+    }
+    load[static_cast<std::size_t>(shard)] +=
+        static_cast<int>(groups.members(g).size());
+  }
+  EXPECT_EQ(load[0], 6);  // greedy largest-first: {4,2} vs {3,3}
+  EXPECT_EQ(load[1], 6);
+  EXPECT_EQ(plan_rank_shards(groups, 2), plan);  // deterministic
+}
+
+TEST(RankShardPlan, SingleShardPlanIsAllZero) {
+  const group::GroupSet groups = make_groups(6, {{0, 1}, {2, 3}, {4, 5}});
+  EXPECT_EQ(plan_rank_shards(groups, 1), std::vector<int>(6, 0));
+}
+
+TEST(RankShardPlan, MoreShardsThanGroupsLeavesShardsIdle) {
+  const group::GroupSet groups = make_groups(4, {{0, 1}, {2, 3}});
+  const std::vector<int> plan = plan_rank_shards(groups, 4);
+  for (const int s : plan) EXPECT_LT(s, 2);  // only 2 shards get ranks
+}
+
+}  // namespace
+}  // namespace gcr::exp
