@@ -18,3 +18,9 @@ cmake -B build -S . -DGCR_BUILD_BENCH=ON && cmake --build build -j && cd build &
 # ctest run above; CI additionally runs them under ASan+UBSan).
 ./fault_torture_test
 ./topology_torture_test
+# Explicit shard-determinism gate (also the shard_equivalence ctest):
+# fig05/fig13 must match the committed goldens byte-for-byte at
+# --shards 1, 2, and 4 — with the rank layer shard-resident, this is the
+# primary equivalence proof for DESIGN.md §15.3.
+sh ../scripts/check_shard_equivalence.sh \
+  bench/fig05_execution_time bench/fig13_scale_vcl ../tests/golden

@@ -10,7 +10,6 @@
 
 #include <any>
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -38,6 +37,13 @@ struct StoredCheckpoint {
 /// successful checkpoint "comes with a correct set of message logs" and
 /// supersedes the previous); we keep the latest per rank.
 ///
+/// Storage is a flat per-rank slot array so that, in shard-resident runs,
+/// every access for rank r (stage/commit by r's group — one shard, since
+/// groups are placed whole — and restore reads posted to r's shard) touches
+/// only r's slots: distinct ranks' operations from different shard threads
+/// never share memory. Slots grow lazily only in single-threaded use;
+/// `reserve_ranks` pre-sizes them before a parallel run.
+///
 /// Image visibility is two-phase so a failure mid-checkpoint never exposes
 /// a torn or mixed-epoch group cut: each member stages its image at the
 /// consistent cut, and once every member's write has finished (the group's
@@ -48,22 +54,41 @@ struct StoredCheckpoint {
 /// member or the previous epoch for every member — never a mixture.
 class ImageRegistry {
  public:
+  /// Pre-sizes the slot arrays for ranks [0, n). Must be called before a
+  /// shard-resident run so no slot access ever reallocates.
+  void reserve_ranks(int n) {
+    const auto s = static_cast<std::size_t>(n);
+    if (images_.size() < s) images_.resize(s);
+    if (staged_.size() < s) staged_.resize(s);
+  }
+
   /// Immediate visibility; used by protocols whose commit point needs no
   /// group agreement (VCL's global rounds) and by tests.
   void put(StoredCheckpoint image) {
-    images_[image.meta.rank] = std::move(image);
+    const mpi::RankId r = image.meta.rank;
+    ensure(r);
+    images_[static_cast<std::size_t>(r)] = std::move(image);
   }
 
   /// Stages a rank's image pending group commit (replaces any prior stage).
   void stage(StoredCheckpoint image) {
-    staged_[image.meta.rank] = std::move(image);
+    const mpi::RankId r = image.meta.rank;
+    ensure(r);
+    staged_[static_cast<std::size_t>(r)] = std::move(image);
   }
 
   /// Drops a rank's staged image, if any (failure before commit).
-  void discard_staged(mpi::RankId rank) { staged_.erase(rank); }
+  void discard_staged(mpi::RankId rank) {
+    if (static_cast<std::size_t>(rank) < staged_.size()) {
+      staged_[static_cast<std::size_t>(rank)].reset();
+    }
+  }
 
   /// True while a staged image awaits its group's commit.
-  bool has_staged(mpi::RankId rank) const { return staged_.count(rank) > 0; }
+  bool has_staged(mpi::RankId rank) const {
+    return static_cast<std::size_t>(rank) < staged_.size() &&
+           staged_[static_cast<std::size_t>(rank)].has_value();
+  }
 
   /// Atomically promotes every member's staged image of `epoch` to latest.
   /// All members must have staged that epoch (protocol invariant: the
@@ -71,23 +96,32 @@ class ImageRegistry {
   void commit_group(const std::vector<mpi::RankId>& members,
                     std::uint64_t epoch) {
     for (mpi::RankId r : members) {
-      auto it = staged_.find(r);
-      GCR_CHECK_MSG(it != staged_.end() && it->second.meta.epoch == epoch,
+      ensure(r);
+      std::optional<StoredCheckpoint>& st = staged_[static_cast<std::size_t>(r)];
+      GCR_CHECK_MSG(st.has_value() && st->meta.epoch == epoch,
                     "commit_group: a member has no staged image for this "
                     "epoch (finalize barrier passed without a write?)");
-      images_[r] = std::move(it->second);
-      staged_.erase(it);
+      images_[static_cast<std::size_t>(r)] = std::move(*st);
+      st.reset();
     }
   }
 
   /// nullptr if the rank never checkpointed (restart from scratch).
   const StoredCheckpoint* latest(mpi::RankId rank) const {
-    auto it = images_.find(rank);
-    return it == images_.end() ? nullptr : &it->second;
+    if (static_cast<std::size_t>(rank) >= images_.size()) return nullptr;
+    const std::optional<StoredCheckpoint>& img =
+        images_[static_cast<std::size_t>(rank)];
+    return img.has_value() ? &*img : nullptr;
   }
 
   /// Ranks with a committed (restore-visible) image.
-  std::size_t count() const { return images_.size(); }
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (const std::optional<StoredCheckpoint>& img : images_) {
+      if (img.has_value()) ++n;
+    }
+    return n;
+  }
   /// Drops every committed and staged image (test teardown).
   void clear() {
     images_.clear();
@@ -95,8 +129,15 @@ class ImageRegistry {
   }
 
  private:
-  std::map<mpi::RankId, StoredCheckpoint> images_;
-  std::map<mpi::RankId, StoredCheckpoint> staged_;
+  void ensure(mpi::RankId r) {
+    GCR_ASSERT(r >= 0);
+    if (static_cast<std::size_t>(r) >= images_.size()) {
+      reserve_ranks(r + 1);
+    }
+  }
+
+  std::vector<std::optional<StoredCheckpoint>> images_;
+  std::vector<std::optional<StoredCheckpoint>> staged_;
 };
 
 }  // namespace gcr::ckpt

@@ -34,7 +34,7 @@ GroupProtocol::GroupProtocol(mpi::Runtime& rt, const group::GroupSet& groups,
     st->rr.assign(static_cast<std::size_t>(n), 0);
     st->first_send.assign(static_cast<std::size_t>(n), 0);
     st->skip_bytes.assign(static_cast<std::size_t>(n), 0);
-    st->event = std::make_unique<sim::Trigger>(rt.engine());
+    st->event = std::make_unique<sim::Trigger>(rt.engine_of(r));
     st->jitter_rng = rt.cluster().make_rng(0x6A00 + static_cast<std::uint64_t>(r));
     states_.push_back(std::move(st));
   }
@@ -57,6 +57,36 @@ std::int64_t GroupProtocol::log_bytes(mpi::RankId rank) const {
   return states_[static_cast<std::size_t>(rank)]->log.total_bytes();
 }
 
+void GroupProtocol::finalize_metrics() {
+  if (!rt_->resident()) return;
+  for (auto& stp : states_) {
+    Metrics& sp = stp->spool;
+    metrics_->logged_messages += sp.logged_messages;
+    metrics_->logged_bytes += sp.logged_bytes;
+    metrics_->flushed_bytes += sp.flushed_bytes;
+    metrics_->resend_ops += sp.resend_ops;
+    metrics_->resend_messages += sp.resend_messages;
+    metrics_->resend_bytes += sp.resend_bytes;
+    metrics_->aborted_rounds += sp.aborted_rounds;
+    for (CkptRecord& r : sp.ckpts) metrics_->ckpts.push_back(std::move(r));
+    for (RestartRecord& r : sp.restarts) {
+      metrics_->restarts.push_back(std::move(r));
+    }
+    sp = Metrics{};
+  }
+  // Restore the unsharded push order — records are pushed at sim time `end`,
+  // so the shared vector is sorted by (end, tie: dispatch order). Matching
+  // it keeps order-sensitive consumers (floating-point aggregate sums) byte-
+  // identical across shard counts.
+  const auto by_end_rank = [](const auto& a, const auto& b) {
+    return a.end != b.end ? a.end < b.end : a.rank < b.rank;
+  };
+  std::stable_sort(metrics_->ckpts.begin(), metrics_->ckpts.end(),
+                   by_end_rank);
+  std::stable_sort(metrics_->restarts.begin(), metrics_->restarts.end(),
+                   by_end_rank);
+}
+
 // ------------------------------------------------------------- send/deliver
 
 sim::Co<bool> GroupProtocol::before_send(mpi::Rank& rank, mpi::Message& msg) {
@@ -66,8 +96,8 @@ sim::Co<bool> GroupProtocol::before_send(mpi::Rank& rank, mpi::Message& msg) {
     // Logged even when transmission is suppressed: the receiver has the
     // message, but a *future* failure of the receiver still needs it.
     st.log.append(msg);
-    ++metrics_->logged_messages;
-    metrics_->logged_bytes += msg.bytes;
+    ++met(st).logged_messages;
+    met(st).logged_bytes += msg.bytes;
   }
   std::int64_t& skip = st.skip_bytes[static_cast<std::size_t>(msg.dst)];
   if (skip > 0) {
@@ -79,7 +109,7 @@ sim::Co<bool> GroupProtocol::before_send(mpi::Rank& rank, mpi::Message& msg) {
   if (crossing) {
     // Asynchronous sender-side logging still costs a buffer copy.
     co_await sim::delay(
-        rt_->engine(),
+        rt_->engine_of(rank),
         sim::from_seconds(options_.log_per_msg_s +
                           static_cast<double>(msg.bytes) /
                               options_.log_copy_Bps));
@@ -121,42 +151,66 @@ void GroupProtocol::note_bookmark_progress(RankState& st,
 // ------------------------------------------------------------ daemon / ctrl
 
 void GroupProtocol::rank_started(mpi::Rank& rank) {
-  auto proc = rt_->engine().spawn("crdaemon" + std::to_string(rank.id()),
-                                  daemon_loop(rank));
+  sim::Engine& eng = rt_->engine_of(rank);
+  auto proc = eng.spawn("crdaemon" + std::to_string(rank.id()),
+                        daemon_loop(rank));
   rt_->set_daemon_proc(rank, std::move(proc));
   RankState& st = state(rank);
   if (st.restoring) {
-    st.restore_proc = rt_->engine().spawn("restore" + std::to_string(rank.id()),
-                                          run_restore(rank));
+    st.restore_proc = eng.spawn("restore" + std::to_string(rank.id()),
+                                run_restore(rank));
   }
   // Deferred exchanges: any peer that restarted while this rank was down
   // re-issues its volume-exchange request now that we are back, so the
   // pair's replay/skip state converges even though the peer's restart
-  // preparation already completed without us.
+  // preparation already completed without us. In shard-resident runs a
+  // peer's deferred-set lives on the peer's shard: same-shard peers are
+  // scanned synchronously, every other shard is reached by a closure posted
+  // one lookahead out (ordered after the respawn's incarnation fence, which
+  // was posted earlier this event — mailbox send order is preserved).
+  if (!rt_->resident()) {
+    reissue_deferred_exchanges(/*shard_filter=*/-1, rank.id());
+  } else {
+    const int home = rt_->shard_of(rank.id());
+    reissue_deferred_exchanges(home, rank.id());
+    sim::ShardedEngine& sh = rt_->cluster().shards();
+    const mpi::RankId back = rank.id();
+    for (int s = 0; s < sh.num_shards(); ++s) {
+      if (s == home) continue;
+      sh.post_at(home, s, sh.shard(home).now() + sh.lookahead(),
+                 [this, s, back] { reissue_deferred_exchanges(s, back); });
+    }
+  }
+}
+
+void GroupProtocol::reissue_deferred_exchanges(int shard_filter,
+                                               mpi::RankId back) {
   for (int p = 0; p < rt_->nranks(); ++p) {
-    if (p == rank.id()) continue;
+    if (p == back) continue;
+    if (shard_filter >= 0 && rt_->shard_of(p) != shard_filter) continue;
     mpi::Rank& peer = rt_->rank(p);
     RankState& ps = *states_[static_cast<std::size_t>(p)];
-    if (!peer.alive() || ps.exchange_deferred.count(rank.id()) == 0) continue;
-    ps.exchange_deferred.erase(rank.id());
-    ps.exchange_pending.insert(rank.id());
+    if (!peer.alive() || ps.exchange_deferred.count(back) == 0) continue;
+    ps.exchange_deferred.erase(back);
+    ps.exchange_pending.insert(back);
     mpi::Message req;
     req.ctrl = mpi::CtrlKind::kExchangeRequest;
-    req.ctrl_data = {ps.exchange_r[static_cast<std::size_t>(rank.id())],
-                     peer.sent_to(rank.id()).bytes};
-    rt_->send_ctrl(p, rank.id(), req);
+    req.ctrl_data = {ps.exchange_r[static_cast<std::size_t>(back)],
+                     peer.sent_to(back).bytes};
+    rt_->send_ctrl(p, back, req);
   }
 }
 
 void GroupProtocol::rank_killed(mpi::Rank& rank) {
   RankState& st = state(rank);
+  sim::Engine& eng = rt_->engine_of(rank);
   // Stop auxiliary coroutines still acting for the dead incarnation.
   if (st.restore_proc && st.restore_proc->alive()) {
-    rt_->engine().kill(*st.restore_proc);
+    eng.kill(*st.restore_proc);
   }
   st.restore_proc.reset();
   for (sim::ProcPtr& p : st.serve_procs) {
-    if (p && p->alive()) rt_->engine().kill(*p);
+    if (p && p->alive()) eng.kill(*p);
   }
   st.serve_procs.clear();
   // Roll back checkpoint state that died with the process: an image whose
@@ -166,7 +220,7 @@ void GroupProtocol::rank_killed(mpi::Rank& rank) {
   registry_->discard_staged(rank.id());
   checkpointer_->discard_staged(rank.id());
   if (is_leader(rank) && st.round_open) {
-    ++metrics_->aborted_rounds;
+    ++met(st).aborted_rounds;
     st.round_open = false;
   }
   st.commit_pending = false;
@@ -180,11 +234,33 @@ void GroupProtocol::rank_killed(mpi::Rank& rank) {
   // Peers mid-restart waiting on our exchange reply must not wait forever:
   // re-route their exchange to the deferred path (re-issued when we
   // respawn) and wake them so their restart preparation can complete.
+  // Shard-resident: same-shard peers synchronously, remote shards one
+  // lookahead out (after the kill's incarnation fence — same mailbox batch,
+  // earlier send). A remote peer that asks us for an exchange inside that
+  // window is dropped by the incarnation check and rescued by this closure.
+  if (!rt_->resident()) {
+    reroute_pending_exchanges(/*shard_filter=*/-1, rank.id());
+  } else {
+    const int home = rt_->shard_of(rank.id());
+    reroute_pending_exchanges(home, rank.id());
+    sim::ShardedEngine& sh = rt_->cluster().shards();
+    const mpi::RankId dead = rank.id();
+    for (int s = 0; s < sh.num_shards(); ++s) {
+      if (s == home) continue;
+      sh.post_at(home, s, sh.shard(home).now() + sh.lookahead(),
+                 [this, s, dead] { reroute_pending_exchanges(s, dead); });
+    }
+  }
+}
+
+void GroupProtocol::reroute_pending_exchanges(int shard_filter,
+                                              mpi::RankId dead) {
   for (int p = 0; p < rt_->nranks(); ++p) {
-    if (p == rank.id()) continue;
+    if (p == dead) continue;
+    if (shard_filter >= 0 && rt_->shard_of(p) != shard_filter) continue;
     RankState& ps = *states_[static_cast<std::size_t>(p)];
-    if (ps.exchange_pending.erase(rank.id()) > 0) {
-      ps.exchange_deferred.insert(rank.id());
+    if (ps.exchange_pending.erase(dead) > 0) {
+      ps.exchange_deferred.insert(dead);
       wake(rt_->rank(p));
     }
   }
@@ -193,7 +269,7 @@ void GroupProtocol::rank_killed(mpi::Rank& rank) {
 void GroupProtocol::rank_finished(mpi::Rank& rank) {
   RankState& st = state(rank);
   if (is_leader(rank) && st.round_open) {
-    ++metrics_->aborted_rounds;
+    ++met(st).aborted_rounds;
     st.round_open = false;
   }
   if (st.commit_pending) {
@@ -230,7 +306,7 @@ sim::Co<void> GroupProtocol::daemon_loop(mpi::Rank& rank) {
       burst = 0;  // pop() will suspend; resumption starts from a fresh stack
     } else if (++burst >= kMaxSyncDrain) {
       burst = 0;
-      co_await sim::delay(rt_->engine(), sim::Time{0});
+      co_await sim::delay(rt_->engine_of(rank), sim::Time{0});
     }
     mpi::Message msg = co_await rank.ctrl_in().pop();
     co_await handle_ctrl(rank, std::move(msg));
@@ -246,11 +322,11 @@ sim::Co<void> GroupProtocol::handle_ctrl(mpi::Rank& rank, mpi::Message msg) {
     case mpi::CtrlKind::kCkptRequest: {
       if (!is_leader(rank) || st.round_open) co_return;
       if (rank.finished()) {
-        ++metrics_->aborted_rounds;
+        ++met(st).aborted_rounds;
         co_return;
       }
       st.round_open = true;
-      st.signal_at = rt_->engine().now();
+      st.signal_at = rt_->engine_of(rank).now();
       const std::uint64_t epoch = st.next_epoch++;
       if (members.size() == 1) {
         st.commit_pending = true;
@@ -271,7 +347,7 @@ sim::Co<void> GroupProtocol::handle_ctrl(mpi::Rank& rank, mpi::Message msg) {
 
     case mpi::CtrlKind::kPrepare: {
       const auto epoch = static_cast<std::uint64_t>(msg.ctrl_data.at(0));
-      st.signal_at = rt_->engine().now();
+      st.signal_at = rt_->engine_of(rank).now();
       mpi::Message reply;
       reply.ctrl = mpi::CtrlKind::kPrepareReply;
       reply.ctrl_data = {
@@ -297,7 +373,7 @@ sim::Co<void> GroupProtocol::handle_ctrl(mpi::Rank& rank, mpi::Message msg) {
       }
       st.prepare_replies.erase(it);
       if (anyone_finished) {
-        ++metrics_->aborted_rounds;
+        ++met(st).aborted_rounds;
         st.aborted.insert(epoch);
         st.round_open = false;
         mpi::Message abort;
@@ -355,7 +431,7 @@ sim::Co<void> GroupProtocol::handle_ctrl(mpi::Rank& rank, mpi::Message msg) {
         st.commit_pending = false;
       }
       if (is_leader(rank) && st.round_open) {
-        ++metrics_->aborted_rounds;
+        ++met(st).aborted_rounds;
         st.round_open = false;
       }
       wake(rank);
@@ -409,8 +485,8 @@ sim::Co<void> GroupProtocol::handle_ctrl(mpi::Rank& rank, mpi::Message msg) {
       std::erase_if(st.serve_procs,
                     [](const sim::ProcPtr& p) { return !p || !p->alive(); });
       st.serve_procs.push_back(
-          rt_->engine().spawn("exchsrv" + std::to_string(rank.id()),
-                              serve_exchange(rank, std::move(msg))));
+          rt_->engine_of(rank).spawn("exchsrv" + std::to_string(rank.id()),
+                                     serve_exchange(rank, std::move(msg))));
       co_return;
     }
 
@@ -500,7 +576,7 @@ sim::Co<void> GroupProtocol::run_group_checkpoint(mpi::Rank& rank) {
   const std::uint64_t epoch = st.commit_epoch;
   const int g = groups_.group_of(rank.id());
   const auto& members = groups_.members(g);
-  sim::Engine& eng = rt_->engine();
+  sim::Engine& eng = rt_->engine_of(rank);
 
   const sim::Time t_signal = st.signal_at;
   const sim::Time t_safepoint = eng.now();
@@ -518,7 +594,7 @@ sim::Co<void> GroupProtocol::run_group_checkpoint(mpi::Rank& rank) {
     co_await checkpointer_->flush_log(rank.node(), flush);
   }
   st.log.mark_flushed();
-  metrics_->flushed_bytes += flush;
+  met(st).flushed_bytes += flush;
 
   mpi::Message bookmark;
   bookmark.ctrl = mpi::CtrlKind::kBookmark;
@@ -614,7 +690,7 @@ sim::Co<void> GroupProtocol::run_group_checkpoint(mpi::Rank& rank) {
     rec.phases.coordination = sim::to_seconds(t_coordinated - t_locked);
     rec.phases.checkpoint = sim::to_seconds(t_image - t_coordinated);
     rec.phases.finalize = sim::to_seconds(t_end - t_image);
-    metrics_->ckpts.push_back(rec);
+    met(st).ckpts.push_back(rec);
   }
   // Aborted rounds are counted where the leader's round closes without a
   // checkpoint (kAbort delivery / finish paths), not here.
@@ -674,7 +750,7 @@ void GroupProtocol::stage_restore(mpi::Rank& rank,
 
 sim::Co<void> GroupProtocol::run_restore(mpi::Rank& rank) {
   RankState& st = state(rank);
-  sim::Engine& eng = rt_->engine();
+  sim::Engine& eng = rt_->engine_of(rank);
   const sim::Time t_begin = eng.now();
   if (st.from_image) {
     co_await checkpointer_->read_image(rank.node(), rank.id(),
@@ -697,7 +773,7 @@ sim::Co<void> GroupProtocol::run_restore(mpi::Rank& rank) {
   req.ctrl = mpi::CtrlKind::kExchangeRequest;
   for (int q = 0; q < rt_->nranks(); ++q) {
     if (groups_.same_group(rank.id(), q)) continue;
-    if (rt_->rank(q).alive()) {
+    if (rt_->peer_alive(rank, q)) {
       req.ctrl_data = {st.exchange_r[static_cast<std::size_t>(q)],
                        rank.sent_to(q).bytes};
       rt_->send_ctrl(rank.id(), q, req);
@@ -722,7 +798,7 @@ sim::Co<void> GroupProtocol::run_restore(mpi::Rank& rank) {
   rec.end = eng.now();
   rec.image_read_s = sim::to_seconds(t_loaded - t_begin);
   rec.exchange_s = sim::to_seconds(eng.now() - t_loaded);
-  metrics_->restarts.push_back(rec);
+  met(st).restarts.push_back(rec);
 
   const int g = groups_.group_of(rank.id());
   if (restore_done_ && !group_restarting(g)) restore_done_(g);
@@ -731,7 +807,7 @@ sim::Co<void> GroupProtocol::run_restore(mpi::Rank& rank) {
 sim::Co<void> GroupProtocol::serve_exchange(mpi::Rank& rank,
                                             mpi::Message msg) {
   const std::int64_t peer_r_from_me = msg.ctrl_data.at(0);
-  co_await sim::delay(rt_->engine(),
+  co_await sim::delay(rt_->engine_of(rank),
                       sim::from_seconds(options_.exchange_handling_s));
   co_await replay_to(rank, msg.src, peer_r_from_me);
   mpi::Message reply;
@@ -745,13 +821,13 @@ sim::Co<void> GroupProtocol::replay_to(mpi::Rank& rank, mpi::RankId peer,
   RankState& st = state(rank);
   const auto entries = st.log.entries_after(peer, after);
   if (entries.empty()) co_return;
-  ++metrics_->resend_ops;
-  sim::Engine& eng = rt_->engine();
+  ++met(st).resend_ops;
+  sim::Engine& eng = rt_->engine_of(rank);
   for (const mpi::Message& m : entries) {
     co_await sim::delay(eng, sim::from_seconds(options_.replay_per_msg_s));
     const auto times = rt_->replay_send(rank, m);
-    ++metrics_->resend_messages;
-    metrics_->resend_bytes += m.bytes;
+    ++met(st).resend_messages;
+    met(st).resend_bytes += m.bytes;
     if (times.ticket != 0) {
       co_await rt_->await_egress(times.ticket);
     } else if (times.egress_done > eng.now()) {

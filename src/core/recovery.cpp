@@ -25,8 +25,33 @@ RecoveryManager::RecoveryManager(mpi::Runtime& rt, GroupProtocol& protocol,
   const std::size_t ngroups =
       static_cast<std::size_t>(protocol.groups().num_groups());
   gstate_.assign(ngroups, GroupState::kAlive);
-  protocol_->set_restore_done_callback(
-      [this](int group) { on_restore_done(group); });
+  // The protocol fires this from the restoring group's shard; the recovery
+  // state machine lives on the home shard, so resident runs take the
+  // completion back home through the cross-shard edge.
+  protocol_->set_restore_done_callback([this](int group) {
+    if (!rt_->resident()) {
+      on_restore_done(group);
+      return;
+    }
+    sim::ShardedEngine& sh = rt_->cluster().shards();
+    const int sg = shard_of_group(group);
+    sh.post_at(sg, 0, sh.shard(sg).now() + sh.lookahead(),
+               [this, group] { on_restore_done(group); });
+  });
+}
+
+int RecoveryManager::shard_of_group(int group) const {
+  return rt_->shard_of(protocol_->groups().members(group).front());
+}
+
+void RecoveryManager::dispatch_kill(int group) {
+  if (!rt_->resident()) {
+    kill_members(group);
+    return;
+  }
+  sim::ShardedEngine& sh = rt_->cluster().shards();
+  sh.post_at(0, shard_of_group(group), sh.home().now() + sh.lookahead(),
+             [this, group] { kill_members(group); });
 }
 
 void RecoveryManager::fail_group_at(int group, sim::Time t) {
@@ -51,7 +76,8 @@ void RecoveryManager::fail_node_now(int node) {
 void RecoveryManager::kill_members(int group) {
   const auto& members = protocol_->groups().members(group);
   GCR_INFO("injecting failure of group %d (%zu ranks) at t=%.3fs", group,
-           members.size(), sim::to_seconds(rt_->engine().now()));
+           members.size(),
+           sim::to_seconds(rt_->engine_of(members.front()).now()));
   for (mpi::RankId r : members) {
     rt_->kill_rank(rt_->rank(r));
     // A FAULT takes the node's staging buffer with it; the member's next
@@ -76,33 +102,68 @@ void RecoveryManager::fail_group_now(int group) {
       ++failures_;
       ++aborted_;
       --restores_in_flight_;
-      kill_members(group);
+      dispatch_kill(group);
       st = GroupState::kDown;
       enqueue_restore(group);
       maybe_start_restores();  // the aborted restore freed a slot
       return;
     case GroupState::kAlive: {
-      // A fault on nodes whose processes have ALL already exited does not
-      // affect the job (a run is complete once every rank ran to the end);
-      // there is nothing to kill or recover. A partially finished group is
-      // still killed whole — its finished members roll back and re-execute
-      // with the rest of the group.
-      bool all_finished = true;
-      for (mpi::RankId r : protocol_->groups().members(group)) {
-        if (!rt_->rank(r).finished()) {
-          all_finished = false;
-          break;
+      if (!rt_->resident()) {
+        // A fault on nodes whose processes have ALL already exited does not
+        // affect the job (a run is complete once every rank ran to the end);
+        // there is nothing to kill or recover. A partially finished group is
+        // still killed whole — its finished members roll back and re-execute
+        // with the rest of the group.
+        bool all_finished = true;
+        for (mpi::RankId r : protocol_->groups().members(group)) {
+          if (!rt_->rank(r).finished()) {
+            all_finished = false;
+            break;
+          }
         }
+        if (all_finished) return;
+        // The kill is immediate even if the group is mid-checkpoint — the
+        // round dies with the processes and the group's staged images are
+        // discarded (rank_killed), so restore sees the previous epoch.
+        ++failures_;
+        kill_members(group);
+        st = GroupState::kDown;
+        enqueue_restore(group);
+        maybe_start_restores();
+        return;
       }
-      if (all_finished) return;
-      // The kill is immediate even if the group is mid-checkpoint — the
-      // round dies with the processes and the group's staged images are
-      // discarded (rank_killed), so restore sees the previous epoch.
-      ++failures_;
-      kill_members(group);
-      st = GroupState::kDown;
-      enqueue_restore(group);
-      maybe_start_restores();
+      // Shard-resident: the all-finished / already-dead checks read member
+      // state owned by the group's shard, so the whole decision runs there
+      // and the bookkeeping posts back home. gstate_ stays kAlive for the
+      // ~2L round trip; a second fault in that window finds the members
+      // already dead on the shard and is absorbed there.
+      sim::ShardedEngine& sh = rt_->cluster().shards();
+      const int sg = shard_of_group(group);
+      sh.post_at(0, sg, sh.home().now() + sh.lookahead(), [this, group] {
+        const auto& members = protocol_->groups().members(group);
+        sim::ShardedEngine& sh = rt_->cluster().shards();
+        const int sg = shard_of_group(group);
+        const sim::Time back = sh.shard(sg).now() + sh.lookahead();
+        if (!rt_->rank(members.front()).alive()) {
+          sh.post_at(sg, 0, back, [this] { ++absorbed_; });
+          return;
+        }
+        bool all_finished = true;
+        for (mpi::RankId r : members) {
+          if (!rt_->rank(r).finished()) {
+            all_finished = false;
+            break;
+          }
+        }
+        if (all_finished) return;
+        kill_members(group);
+        sh.post_at(sg, 0, back, [this, group] {
+          ++failures_;
+          gstate_[static_cast<std::size_t>(group)] = GroupState::kDown;
+          enqueue_restore(group);
+          maybe_start_restores();
+        });
+      });
       return;
     }
   }
@@ -133,7 +194,18 @@ void RecoveryManager::maybe_start_restores() {
 void RecoveryManager::start_restore(int group) {
   gstate_[static_cast<std::size_t>(group)] = GroupState::kRestoring;
   ++restores_in_flight_;
-  restore_ranks(protocol_->groups().members(group));
+  if (!rt_->resident()) {
+    restore_ranks(protocol_->groups().members(group));
+    return;
+  }
+  // The restore touches rank/protocol/registry state owned by the group's
+  // shard. Posted after any in-flight kill for this group (home posts both
+  // in order; the mailbox preserves send order at equal timestamps).
+  sim::ShardedEngine& sh = rt_->cluster().shards();
+  sh.post_at(0, shard_of_group(group), sh.home().now() + sh.lookahead(),
+             [this, group] {
+               restore_ranks(protocol_->groups().members(group));
+             });
 }
 
 void RecoveryManager::on_restore_done(int group) {
@@ -199,6 +271,9 @@ void RecoveryManager::schedule_next_model_event() {
 }
 
 void RecoveryManager::restart_all_at(sim::Time t) {
+  GCR_CHECK_MSG(!rt_->resident(),
+                "whole-application restarts cross every shard; the residency "
+                "gate keeps such configs on the unsharded path");
   rt_->engine().call_at(t, [this] {
     std::vector<mpi::RankId> all;
     for (int r = 0; r < rt_->nranks(); ++r) {

@@ -112,6 +112,13 @@ class RecoveryManager {
   void fail_group_now(int group);
   void fail_node_now(int node);
   void kill_members(int group);
+  /// kill_members on the shard that owns the group's ranks: synchronous in
+  /// unsharded runs, posted one lookahead out in shard-resident runs (the
+  /// recovery state machine stays on the home shard; only the member-
+  /// touching work crosses).
+  void dispatch_kill(int group);
+  /// The shard hosting a group's ranks (groups are placed whole).
+  int shard_of_group(int group) const;
   void enqueue_restore(int group);
   /// Starts queued restores while slots are free and heads are ready;
   /// re-arms itself for a not-yet-ready head. Idempotent.

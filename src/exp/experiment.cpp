@@ -81,7 +81,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       static_cast<std::int64_t>(config.storage.burst_buffer_capacity_bytes);
   ckpt::Checkpointer checkpointer(cluster, ckpt_opts);
   ckpt::ImageRegistry registry;
+  registry.reserve_ranks(config.nranks);
   core::Metrics metrics;
+
+  // Shard residency (DESIGN.md §15.3): rank coroutines and their protocol
+  // state live on the shard the placement plan assigns them, so peer shards
+  // execute model work instead of idling. Confined to configurations whose
+  // shared services stay home-reachable through the cross-shard edge alone:
+  // the flat fabric (per-node NIC state partitions by shard), node-local
+  // direct storage, no tracing, no whole-application restart. Everything
+  // else runs the existing all-home path unchanged.
+  const bool resident =
+      config.shards > 1 && config.protocol == ProtocolKind::kGroup &&
+      config.topology.kind == sim::TopologyKind::kFlat &&
+      !config.remote_storage &&
+      config.storage.mode == ckpt::StorageMode::kDirect &&
+      !config.collect_trace && !config.restart_after_finish;
 
   trace::Tracer tracer;
   if (config.collect_trace) {
@@ -97,13 +112,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.protocol == ProtocolKind::kGroup) {
     GCR_CHECK_MSG(config.groups.has_value(),
                   "group protocol requires a GroupSet");
+    if (config.shards > 1) {
+      // Before the protocol exists: resident plans rebuild the Rank objects
+      // (their channels bind to the owning shard's engine).
+      runtime.set_shard_plan(plan_rank_shards(*config.groups, config.shards),
+                             resident);
+    }
     group_protocol = std::make_unique<core::GroupProtocol>(
         runtime, *config.groups, checkpointer, registry, spec.image_bytes,
         metrics, config.protocol_options);
     runtime.set_protocol(group_protocol.get());
-    if (config.shards > 1) {
-      runtime.set_shard_plan(plan_rank_shards(*config.groups, config.shards));
-    }
     if (!config.per_group_intervals.empty()) {
       core::CheckpointScheduler::start_per_group(runtime, *group_protocol,
                                                  config.per_group_intervals);
@@ -142,12 +160,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   const sim::Time deadline = sim::from_seconds(config.max_sim_s);
   cluster.shards().run_while([&] {
-    return !runtime.job_finished() && cluster.engine().now() < deadline;
+    // virtual_now() tracks the global window plan; the home clock freezes
+    // while the remaining activity lives on peer shards, which would make a
+    // home-clock deadline never fire in resident runs.
+    const sim::Time now = runtime.resident() ? cluster.shards().virtual_now()
+                                             : cluster.engine().now();
+    return !runtime.job_finished() && now < deadline;
   });
+  if (group_protocol) group_protocol->finalize_metrics();
 
   ExperimentResult result;
   result.finished = runtime.job_finished();
-  result.exec_time_s = sim::to_seconds(cluster.engine().now());
+  // Resident runs end on whichever shard hosted the last rank to finish;
+  // finish_time() records that instant exactly (the home clock may trail by
+  // up to one lookahead fence).
+  result.exec_time_s =
+      runtime.resident()
+          ? sim::to_seconds(result.finished ? runtime.finish_time()
+                                            : cluster.shards().max_now())
+          : sim::to_seconds(cluster.engine().now());
   result.app_messages = runtime.app_messages_sent();
   result.app_bytes = runtime.app_bytes_sent();
   result.failures_injected = recovery ? recovery->failures_injected() : 0;
@@ -172,6 +203,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
+  for (int s = 0; s < config.shards; ++s) {
+    result.shard_events.push_back(cluster.shards().shard_events(s));
+  }
   result.checkpoints_completed = metrics.completed_rounds(config.nranks);
   if (const ckpt::TierStats* ts = checkpointer.tier_stats()) {
     result.tier_stats = *ts;

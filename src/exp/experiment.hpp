@@ -69,8 +69,12 @@ struct ExperimentConfig {
   sim::TopologyParams topology;
   // Engine shards (sim/shard.hpp). 1 (default) is the literal single-
   // threaded engine; N > 1 drives the run through the conservative-lookahead
-  // window coordinator. Model objects currently live on the home shard
-  // (DESIGN.md §15.3), so outputs are byte-identical across shard counts.
+  // window coordinator. Configurations that pass the residency gate (group
+  // protocol, flat fabric, node-local direct storage, no tracing, no
+  // whole-app restart — see run_experiment) place each rank's coroutines,
+  // protocol state and local disk on shard_of(rank), so peer shards execute
+  // the model work; everything else runs all-home as before. Outputs are
+  // byte-identical across shard counts either way (DESIGN.md §15.3).
   int shards = 1;
   // Local image writes land in the page cache first (512 MB nodes); the
   // effective rate seen by the checkpointer is memory-copy-bound, not raw
@@ -142,6 +146,12 @@ struct ExperimentResult {
   /// Restart-experiment aggregates (valid when restart_after_finish).
   double restart_aggregate_s = 0;
   std::vector<core::RestartRecord> restart_records;
+
+  /// Events dispatched per engine shard (size == config.shards). In a
+  /// resident run every shard that was assigned ranks shows nonzero
+  /// dispatch — the "peer shards actually execute model work" proof the
+  /// shard-equivalence gate pairs with.
+  std::vector<std::uint64_t> shard_events;
 };
 
 /// Group-aligned rank -> engine-shard placement. Checkpoint groups are the
@@ -151,8 +161,11 @@ struct ExperimentResult {
 /// first, each landing on the currently least-loaded shard (ties to the
 /// lowest shard index, so the plan is deterministic). With shards == 1 the
 /// plan is all-zero. run_experiment installs this on the Runtime when
-/// config.shards > 1 (Runtime::shard_of); see DESIGN.md §15.3 for why the
-/// plan is placement metadata until the model layers are partitioned.
+/// config.shards > 1 (Runtime::shard_of); under the residency gate the plan
+/// decides which engine owns each rank's coroutines, channels and local
+/// disk, so it is fixed before the protocol is constructed and never
+/// recomputed mid-run — groups reformed by dynamic regrouping analyses do
+/// not move ranks (DESIGN.md §15.3).
 std::vector<int> plan_rank_shards(const group::GroupSet& groups, int shards);
 
 ExperimentResult run_experiment(const ExperimentConfig& config);

@@ -123,14 +123,36 @@ sim::Co<void> Runtime::run_app_body(Rank& rank) {
 
 void Runtime::note_app_finished(Rank& rank) {
   rank.finished_ = true;
-  ++finished_ranks_;
+  const int done = finished_ranks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // The job's completion instant is the max over ranks of the local finish
+  // time — exact and shard-count-independent, unlike the home clock, which
+  // freezes while activity lives on peer shards.
+  const sim::Time t = engine_of(rank).now();
+  sim::Time cur = finish_time_.load(std::memory_order_relaxed);
+  while (t > cur &&
+         !finish_time_.compare_exchange_weak(cur, t,
+                                             std::memory_order_relaxed)) {
+  }
+  note_finished_delta(rank, 1);
   if (protocol_) protocol_->rank_finished(rank);
-  if (finished_ranks_ == nranks()) job_done_->fire();
+  if (done == nranks() && !resident_) job_done_->fire();
+}
+
+void Runtime::note_finished_delta(const Rank& rank, int delta) {
+  if (!resident_) return;
+  sim::ShardedEngine& sh = cluster_->shards();
+  const int from = shard_of(rank.id());
+  const int n = nranks();
+  sh.post_at(from, /*to=*/0, sh.shard(from).now() + sh.lookahead(),
+             [this, delta, n] {
+               finished_view_home_ += delta;
+               if (finished_view_home_ == n) job_done_->fire();
+             });
 }
 
 void Runtime::spawn_app_coroutine(Rank& rank) {
-  rank.app_proc_ = engine().spawn("rank" + std::to_string(rank.id()),
-                                  app_wrapper(this, &rank));
+  rank.app_proc_ = engine_of(rank).spawn("rank" + std::to_string(rank.id()),
+                                         app_wrapper(this, &rank));
 }
 
 // ------------------------------------------------------------------- p2p
@@ -142,8 +164,8 @@ void Runtime::stamp_outgoing(Rank& rank, Message& msg) {
   msg.seq = sv.count;
   msg.cum_bytes = sv.bytes;
   msg.checksum = message_checksum(msg.src, msg.dst, msg.seq);
-  ++app_messages_sent_;
-  app_bytes_sent_ += msg.bytes;
+  app_messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  app_bytes_sent_.fetch_add(msg.bytes, std::memory_order_relaxed);
 }
 
 sim::Network::SendTimes Runtime::transmit(const Message& msg) {
@@ -185,7 +207,7 @@ sim::Co<void> Runtime::send(Rank& rank, RankId dst, int tag,
   msg.tag = tag;
   msg.bytes = bytes;
   msg.src_inc = rank.incarnation_;
-  msg.dst_inc = ranks_[static_cast<std::size_t>(dst)]->incarnation_;
+  msg.dst_inc = incarnation_view(shard_of(rank.id()), dst);
   stamp_outgoing(rank, msg);
   bool transmit_it = true;
   if (protocol_) transmit_it = co_await protocol_->before_send(rank, msg);
@@ -195,9 +217,10 @@ sim::Co<void> Runtime::send(Rank& rank, RankId dst, int tag,
     if (times.ticket != 0) {
       co_await await_egress(times.ticket);
     } else {
-      const sim::Time now = engine().now();
+      sim::Engine& eng = engine_of(rank);
+      const sim::Time now = eng.now();
       if (times.egress_done > now) {
-        co_await sim::delay(engine(), times.egress_done - now);
+        co_await sim::delay(eng, times.egress_done - now);
       }
     }
   }
@@ -212,7 +235,7 @@ sim::Co<Message> Runtime::sendrecv(Rank& rank, RankId dst, int stag,
   msg.tag = stag;
   msg.bytes = sbytes;
   msg.src_inc = rank.incarnation_;
-  msg.dst_inc = ranks_[static_cast<std::size_t>(dst)]->incarnation_;
+  msg.dst_inc = incarnation_view(shard_of(rank.id()), dst);
   stamp_outgoing(rank, msg);
   bool transmit_it = true;
   if (protocol_) transmit_it = co_await protocol_->before_send(rank, msg);
@@ -223,9 +246,10 @@ sim::Co<Message> Runtime::sendrecv(Rank& rank, RankId dst, int stag,
   if (times.ticket != 0) {
     co_await await_egress(times.ticket);
   } else {
-    const sim::Time now = engine().now();
+    sim::Engine& eng = engine_of(rank);
+    const sim::Time now = eng.now();
     if (times.egress_done > now) {
-      co_await sim::delay(engine(), times.egress_done - now);
+      co_await sim::delay(eng, times.egress_done - now);
     }
   }
   co_return in;
@@ -254,7 +278,7 @@ sim::Co<Message> Runtime::wait_match(Rank& rank, RankId src, int tag) {
   GCR_CHECK_MSG(!rank.waiting_.has_value(),
                 "only one outstanding blocking recv per rank");
   struct RecvAwaiter {
-    Runtime* rt;
+    sim::Engine* eng;
     Rank* rank;
     RankId src;
     int tag;
@@ -263,7 +287,7 @@ sim::Co<Message> Runtime::wait_match(Rank& rank, RankId src, int tag) {
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      waiter = rt->engine().suspend_current(h);
+      waiter = eng->suspend_current(h);
       rank->waiting_ = Rank::WaitingRecv{src, tag, waiter, &msg};
     }
     Message await_resume() {
@@ -271,11 +295,11 @@ sim::Co<Message> Runtime::wait_match(Rank& rank, RankId src, int tag) {
       if (rank->waiting_ && rank->waiting_->waiter == waiter) {
         rank->waiting_.reset();
       }
-      rt->engine().finish_wait(waiter);
+      eng->finish_wait(waiter);
       return std::move(msg);
     }
   };
-  co_return co_await RecvAwaiter{this, &rank, src, tag, {}, {}};
+  co_return co_await RecvAwaiter{&engine_of(rank), &rank, src, tag, {}, {}};
 }
 
 void Runtime::verify_consume(Rank& rank, const Message& msg) {
@@ -291,11 +315,13 @@ void Runtime::verify_consume(Rank& rank, const Message& msg) {
 void Runtime::deliver(Message msg) {
   Rank& dst = *ranks_[static_cast<std::size_t>(msg.dst)];
   // Stale incarnation or dead destination: the wire data is lost (connection
-  // reset); sender-based logs cover re-delivery after restart.
+  // reset); sender-based logs cover re-delivery after restart. The sender's
+  // incarnation is judged from the receiver shard's view — never a peer
+  // shard's sim-future.
   if (!dst.alive_ || msg.dst_inc != dst.incarnation_) return;
-  if (msg.src != kExternalSource) {
-    Rank& src = *ranks_[static_cast<std::size_t>(msg.src)];
-    if (msg.src_inc != src.incarnation_) return;
+  if (msg.src != kExternalSource &&
+      msg.src_inc != incarnation_view(shard_of(msg.dst), msg.src)) {
+    return;
   }
   if (msg.is_ctrl()) {
     dst.ctrl_in_.push(std::move(msg));
@@ -324,7 +350,8 @@ bool Runtime::is_duplicate(const Rank& rank, const Message& msg) const {
 }
 
 void Runtime::match_or_buffer(Rank& rank, Message msg) {
-  if (rank.waiting_ && engine().waiter_live(rank.waiting_->waiter) &&
+  sim::Engine& eng = engine_of(rank);
+  if (rank.waiting_ && eng.waiter_live(rank.waiting_->waiter) &&
       is_next_in_sequence(
           msg, rank.waiting_->src,
           rank.consumed_[static_cast<std::size_t>(rank.waiting_->src)])) {
@@ -332,7 +359,7 @@ void Runtime::match_or_buffer(Rank& rank, Message msg) {
     auto waiting = *rank.waiting_;
     rank.waiting_.reset();
     *waiting.slot = std::move(msg);
-    const bool claimed = engine().fire(waiting.waiter);
+    const bool claimed = eng.fire(waiting.waiter);
     GCR_CHECK(claimed);
     return;
   }
@@ -340,8 +367,7 @@ void Runtime::match_or_buffer(Rank& rank, Message msg) {
 }
 
 sim::Co<void> Runtime::compute(Rank& rank, double seconds) {
-  (void)rank;
-  co_await sim::delay(engine(), sim::from_seconds(seconds));
+  co_await sim::delay(engine_of(rank), sim::from_seconds(seconds));
 }
 
 sim::Co<void> Runtime::safepoint(Rank& rank, std::uint64_t iteration) {
@@ -451,10 +477,13 @@ void Runtime::send_ctrl(RankId src_rank, RankId dst, Message msg) {
   GCR_CHECK(msg.is_ctrl());
   msg.src = src_rank;
   msg.dst = dst;
+  // The driver runs on the home shard; rank daemons stamp from their own
+  // shard's view.
+  const int view = src_rank == kExternalSource ? 0 : shard_of(src_rank);
   msg.src_inc = src_rank == kExternalSource
                     ? 0
                     : ranks_[static_cast<std::size_t>(src_rank)]->incarnation_;
-  msg.dst_inc = ranks_[static_cast<std::size_t>(dst)]->incarnation_;
+  msg.dst_inc = incarnation_view(view, dst);
   if (msg.bytes == 0) {
     msg.bytes =
         kSyncBytes + static_cast<std::int64_t>(msg.ctrl_data.size()) * 8;
@@ -472,7 +501,7 @@ sim::Network::SendTimes Runtime::replay_send(Rank& sender,
   msg.is_replay = true;
   msg.piggyback_rr = -1;
   msg.src_inc = sender.incarnation_;
-  msg.dst_inc = ranks_[static_cast<std::size_t>(msg.dst)]->incarnation_;
+  msg.dst_inc = incarnation_view(shard_of(sender.id()), msg.dst);
   return transmit(msg);
 }
 
@@ -491,15 +520,19 @@ RankSnapshot Runtime::snapshot_rank(const Rank& rank) const {
 void Runtime::kill_rank(Rank& rank) {
   GCR_CHECK(rank.alive_);
   rank.alive_ = false;
+  // Resident mode: this must run on the rank's shard (recovery posts its
+  // kill orders there); publish the death to peer shards' views first so
+  // the fence sequences before any protocol fixup posted below.
+  broadcast_peer_view(rank);
   // Drop the node's queued/in-flight fabric transfers *before* unwinding
   // its coroutines, so no completion can fire into a stack being torn
   // down, and survivors reclaim the dead sender's link shares. Flat no-op.
   cluster_->network().abort_transfers_from(rank.node());
   if (rank.app_proc_ && rank.app_proc_->alive()) {
-    engine().kill(*rank.app_proc_);
+    engine_of(rank).kill(*rank.app_proc_);
   }
   if (rank.daemon_proc_ && rank.daemon_proc_->alive()) {
-    engine().kill(*rank.daemon_proc_);
+    engine_of(rank).kill(*rank.daemon_proc_);
   }
   if (protocol_) protocol_->rank_killed(rank);
 }
@@ -507,6 +540,7 @@ void Runtime::kill_rank(Rank& rank) {
 void Runtime::begin_restart(Rank& rank) {
   GCR_CHECK_MSG(!rank.alive_, "kill_rank must precede begin_restart");
   ++rank.incarnation_;
+  broadcast_peer_view(rank);
   rank.pending_.clear();
   rank.waiting_.reset();
   rank.ctrl_in_.clear();
@@ -518,7 +552,8 @@ void Runtime::begin_restart(Rank& rank) {
   rank.start_iteration_ = 0;
   if (rank.finished_) {
     rank.finished_ = false;
-    --finished_ranks_;
+    finished_ranks_.fetch_sub(1, std::memory_order_relaxed);
+    note_finished_delta(rank, -1);
   }
 }
 
@@ -535,6 +570,9 @@ void Runtime::restore_rank(Rank& rank, const RankSnapshot& snap) {
 void Runtime::respawn_rank(Rank& rank) {
   GCR_CHECK(!rank.alive_);
   rank.alive_ = true;
+  // View fence first: a peer acting on the protocol's started fixup (posted
+  // after this, same mailbox batch) already sees the new incarnation alive.
+  broadcast_peer_view(rank);
   if (protocol_) protocol_->rank_started(rank);
   spawn_app_coroutine(rank);
 }
@@ -569,11 +607,12 @@ void Runtime::debug_dump(std::ostream& os) const {
 void Runtime::clear_finished(Rank& rank) {
   if (rank.finished_) {
     rank.finished_ = false;
-    --finished_ranks_;
+    finished_ranks_.fetch_sub(1, std::memory_order_relaxed);
+    note_finished_delta(rank, -1);
   }
 }
 
-void Runtime::set_shard_plan(std::vector<int> plan) {
+void Runtime::set_shard_plan(std::vector<int> plan, bool resident) {
   GCR_CHECK_MSG(plan.size() == ranks_.size(),
                 "shard plan must cover every rank");
   const int shards = cluster_->shards().num_shards();
@@ -581,12 +620,69 @@ void Runtime::set_shard_plan(std::vector<int> plan) {
     GCR_CHECK_MSG(s >= 0 && s < shards, "shard plan names a missing shard");
   }
   shard_plan_ = std::move(plan);
+  resident_ = resident && shards > 1;
+  if (!resident_) return;
+
+  GCR_CHECK_MSG(protocol_ == nullptr && !app_body_,
+                "a resident plan must be installed before the protocol is "
+                "constructed and before start_app (engine bindings are fixed "
+                "at construction)");
+  // Rebuild every rank on its shard's engine: the control channel, resume
+  // gate and (later) coroutines all bind to the owning engine.
+  const int n = nranks();
+  for (int r = 0; r < n; ++r) {
+    ranks_[static_cast<std::size_t>(r)] =
+        std::make_unique<Rank>(engine_of(r), r, /*node=*/r, n);
+  }
+  peer_view_.assign(static_cast<std::size_t>(shards),
+                    std::vector<PeerView>(static_cast<std::size_t>(n)));
+  finished_view_home_ = 0;
+  // Nodes follow their ranks; the driver's NIC stays on the home shard.
+  std::vector<int> node_shard(static_cast<std::size_t>(cluster_->num_nodes()),
+                              0);
+  for (int r = 0; r < n; ++r) {
+    node_shard[static_cast<std::size_t>(r)] = shard_of(r);
+  }
+  cluster_->network().set_shard_router(&cluster_->shards(), node_shard);
+  cluster_->rebind_local_disks(node_shard);
 }
 
 int Runtime::shard_of(RankId rank) const {
   GCR_ASSERT(rank >= 0 && rank < nranks());
   if (shard_plan_.empty()) return 0;
   return shard_plan_[static_cast<std::size_t>(rank)];
+}
+
+std::uint32_t Runtime::incarnation_view(int shard, RankId r) const {
+  if (!resident_ || shard == shard_of(r)) {
+    return ranks_[static_cast<std::size_t>(r)]->incarnation_;
+  }
+  return peer_view_[static_cast<std::size_t>(shard)][static_cast<std::size_t>(r)]
+      .inc;
+}
+
+bool Runtime::peer_alive(const Rank& reader, RankId q) const {
+  const int shard = shard_of(reader.id());
+  if (!resident_ || shard == shard_of(q)) {
+    return ranks_[static_cast<std::size_t>(q)]->alive();
+  }
+  return peer_view_[static_cast<std::size_t>(shard)][static_cast<std::size_t>(q)]
+      .alive;
+}
+
+void Runtime::broadcast_peer_view(const Rank& rank) {
+  if (!resident_) return;
+  sim::ShardedEngine& sh = cluster_->shards();
+  const int from = shard_of(rank.id());
+  const sim::Time at = sh.shard(from).now() + sh.lookahead();
+  const PeerView pv{rank.incarnation_, rank.alive_};
+  const auto r = static_cast<std::size_t>(rank.id());
+  for (int s = 0; s < sh.num_shards(); ++s) {
+    if (s == from) continue;
+    sh.post_at(from, s, at, [this, s, r, pv] {
+      peer_view_[static_cast<std::size_t>(s)][r] = pv;
+    });
+  }
 }
 
 }  // namespace gcr::mpi

@@ -121,6 +121,23 @@ class Cluster {
     return *local_disks_[static_cast<std::size_t>(node)];
   }
 
+  /// Shard-resident mode: re-creates each node's private disk bound to the
+  /// node's shard engine, so a rank's direct checkpoint IO runs entirely on
+  /// its own shard. Only legal before any disk has been used (the devices
+  /// are rebuilt with fresh queues); shared devices (NFS, tiers) are
+  /// deliberately untouched — they stay home and resident configs exclude
+  /// them.
+  void rebind_local_disks(const std::vector<int>& node_to_shard) {
+    GCR_CHECK(node_to_shard.size() ==
+              static_cast<std::size_t>(params_.num_nodes));
+    for (int n = 0; n < params_.num_nodes; ++n) {
+      Engine& eng = shards_.shard(node_to_shard[static_cast<std::size_t>(n)]);
+      local_disks_[static_cast<std::size_t>(n)] =
+          std::make_unique<StorageDevice>(eng, "disk" + std::to_string(n),
+                                          params_.local_disk);
+    }
+  }
+
   bool has_remote_storage() const { return !remote_servers_.empty(); }
 
   /// The checkpoint server a given node writes to (round-robin assignment,

@@ -228,22 +228,69 @@ void Engine::wheel_advance(Time t) {
       n = next;
     }
   }
+  if ((diff >> (kWheelBits * (kWheelLevels - 1))) != 0) {
+    // The cursor entered a new top-level window, so overflow events parked
+    // beyond the old span may now fit: drain them in one batch here rather
+    // than testing span membership per entry on the dispatch path.
+    promote_overflow();
+  }
+}
+
+void Engine::promote_overflow() {
+  // Same-timestamp safety: an event can only reach the wheel while a
+  // same-time sibling sits in the heap if the sibling entered the heap
+  // beyond-span and the wheel insert happened within-span — but the cursor
+  // advance that changed the span boundary ran this promotion first, so the
+  // heap (popped in (at, seq) order) always lands before later inserts and
+  // slot chains stay seq-sorted.
+  while (!heap_.empty()) {
+    const Event top = heap_.front();
+    if (top.at < wheel_cur_) break;  // behind-cursor overflow stays heaped
+    const std::uint64_t d = static_cast<std::uint64_t>(top.at) ^
+                            static_cast<std::uint64_t>(wheel_cur_);
+    if ((d >> (kWheelBits * kWheelLevels)) != 0) break;  // still beyond span
+    heap_pop_top();
+    wheel_insert(top);
+  }
 }
 
 auto Engine::wheel_peek(Time bound) -> const Event* {
+  // Minimum-slot argument (used by both return paths below): within a
+  // level every event shares the cursor's digits above that level (inserts
+  // match the cursor at insert time, and the cursor only ever changes its
+  // digit at the lowest occupied level, whose entered slot is cascaded), so
+  // slots at one level are totally ordered by index and any event at a
+  // higher level exceeds the cursor's digit there. Hence every event in the
+  // lowest occupied slot of the lowest occupied level precedes every other
+  // wheel event.
   while (wheel_count_ != 0) {
     if (wheel_bmp_[0] != 0) {
-      // Level-0 slots hold one exact nanosecond each; the lowest occupied
-      // index is the wheel's true minimum (higher levels are all later).
+      // Level-0 slots hold one exact nanosecond each, chained in seq
+      // order, so the lowest occupied head is the wheel's true minimum.
       const int s = std::countr_zero(wheel_bmp_[0]);
-      const Event& front =
-          wheel_pool_[wheel_slots_[static_cast<std::size_t>(s)].head].ev;
+      peek_lvl_ = 0;
+      peek_slot_ = static_cast<std::size_t>(s);
+      const Event& front = wheel_pool_[wheel_slots_[peek_slot_].head].ev;
       return front.at <= bound ? &front : nullptr;
     }
     int lvl = 1;
     while (wheel_bmp_[static_cast<std::size_t>(lvl)] == 0) ++lvl;
     const int s =
         std::countr_zero(wheel_bmp_[static_cast<std::size_t>(lvl)]);
+    const std::size_t slot_idx =
+        static_cast<std::size_t>(lvl) * kWheelSlots +
+        static_cast<std::size_t>(s);
+    const WheelSlot& slot = wheel_slots_[slot_idx];
+    if (slot.head == slot.tail) {
+      // A single-event chain in the minimum slot IS the wheel minimum: pop
+      // it from right here instead of cascading it one level at a time down
+      // to level 0 (which costs a bitmap walk + relink per level and made
+      // sparse far-future populations ~10x slower than the dense rows).
+      peek_lvl_ = lvl;
+      peek_slot_ = slot_idx;
+      const Event& front = wheel_pool_[slot.head].ev;
+      return front.at <= bound ? &front : nullptr;
+    }
     const int shift = kWheelBits * (lvl + 1);
     const std::uint64_t base = static_cast<std::uint64_t>(wheel_cur_) >>
                                shift << shift;
@@ -256,13 +303,13 @@ auto Engine::wheel_peek(Time bound) -> const Event* {
 }
 
 void Engine::wheel_pop_front() {
-  const int s = std::countr_zero(wheel_bmp_[0]);
-  WheelSlot& slot = wheel_slots_[static_cast<std::size_t>(s)];
+  WheelSlot& slot = wheel_slots_[peek_slot_];
   const std::uint32_t n = slot.head;
   slot.head = wheel_pool_[n].next;
   if (slot.head == kNilNode) {
     slot.tail = kNilNode;
-    wheel_bmp_[0] &= ~(std::uint64_t{1} << s);
+    wheel_bmp_[static_cast<std::size_t>(peek_lvl_)] &=
+        ~(std::uint64_t{1} << (peek_slot_ & (kWheelSlots - 1)));
   }
   wheel_pool_[n].next = wheel_free_;
   wheel_free_ = n;

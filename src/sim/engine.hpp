@@ -279,11 +279,21 @@ class Engine {
   void wheel_place(std::uint32_t n);
   /// Moves the cursor to t (<= every pending wheel event), cascading the
   /// entered slot at each level the jump crosses, highest level first.
+  /// Entering a new top-level window also drains every overflow-heap event
+  /// that now fits the wheel span — one batched promotion per cascade tick
+  /// instead of a per-entry check on the dispatch path.
   void wheel_advance(Time t);
+  /// Batched far-future promotion: pops heap events in (at, seq) order into
+  /// the wheel while the top lies inside the span ahead of the cursor.
+  void promote_overflow();
   /// Exact earliest wheel event if its time is <= bound, else nullptr.
-  /// Cascades as needed; never advances the cursor past `bound`.
+  /// Cascades as needed; never advances the cursor past `bound`. A
+  /// single-event chain in the lowest occupied slot of the lowest occupied
+  /// level is already the exact minimum (see the proof in the .cpp), so it
+  /// is returned in place instead of being cascaded down level by level.
   const Event* wheel_peek(Time bound);
-  /// Removes the event wheel_peek() just returned (level-0 head).
+  /// Removes the event wheel_peek() just returned (the head of the slot the
+  /// peek recorded in peek_lvl_/peek_slot_).
   void wheel_pop_front();
   /// Earliest possible wheel event time without cascading: exact when level
   /// 0 is occupied, otherwise the lowest occupied slot's start time.
@@ -313,6 +323,11 @@ class Engine {
   std::uint32_t wheel_free_ = kNilNode;
   std::size_t wheel_count_ = 0;
   Time wheel_cur_ = 0;
+  /// Slot the last successful wheel_peek() found the minimum in; consumed
+  /// by wheel_pop_front() (peeks at higher levels no longer force the event
+  /// all the way down to level 0 first).
+  int peek_lvl_ = 0;
+  std::size_t peek_slot_ = 0;
 
   /// Power-of-two ring of events due at now_; drained (in seq order,
   /// interleaved with same-time wheel/heap entries) before the clock

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/awaitables.hpp"
+#include "sim/shard.hpp"
 #include "util/assert.hpp"
 
 namespace gcr::sim {
@@ -31,24 +32,44 @@ Network::Network(Engine& engine, int num_nodes, const NetParams& params,
   }
 }
 
+void Network::set_shard_router(ShardedEngine* shards,
+                               std::vector<int> node_to_shard) {
+  GCR_CHECK_MSG(!routed(),
+                "the routed fabric's contention state is one shared machine "
+                "and cannot be partitioned by shard");
+  GCR_CHECK(shards != nullptr);
+  GCR_CHECK(node_to_shard.size() == static_cast<std::size_t>(num_nodes()));
+  for (const int s : node_to_shard) {
+    GCR_CHECK(s >= 0 && s < shards->num_shards());
+  }
+  shards_ = shards;
+  node_shard_ = std::move(node_to_shard);
+}
+
+Engine& Network::shard_engine(int node) {
+  return shards_->shard(node_shard(node));
+}
+
 Network::SendTimes Network::send(int src_node, int dst_node,
                                  std::int64_t bytes, SmallFn deliver) {
   GCR_CHECK(src_node >= 0 && src_node < num_nodes());
   GCR_CHECK(dst_node >= 0 && dst_node < num_nodes());
   GCR_CHECK(bytes >= 0);
-  ++total_messages_;
-  total_bytes_ += bytes;
+  total_messages_.fetch_add(1, std::memory_order_relaxed);
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
 
-  const Time now = engine_->now();
+  Engine& src_eng = engine_for(src_node);
+  const Time now = src_eng.now();
   if (src_node == dst_node) {
-    // Same-node copy bypasses NIC and fabric alike. The 1-tick floor keeps
-    // a zero-byte copy from being instantaneous under degenerate (zero
-    // latency) configs; defaults are unaffected.
+    // Same-node copy bypasses NIC and fabric alike (and, resident, never
+    // leaves the node's shard). The 1-tick floor keeps a zero-byte copy
+    // from being instantaneous under degenerate (zero latency) configs;
+    // defaults are unaffected.
     const Time copy = from_seconds(
         params_.loopback_latency_s +
         static_cast<double>(bytes) / params_.loopback_Bps);
     const Time arrival = now + std::max<Time>(1, copy);
-    engine_->call_at(arrival, std::move(deliver));
+    src_eng.call_at(arrival, std::move(deliver));
     return {arrival, arrival, 0};
   }
   if (!routed()) {
@@ -60,7 +81,6 @@ Network::SendTimes Network::send(int src_node, int dst_node,
 Network::SendTimes Network::send_flat(int src_node, int dst_node,
                                       std::int64_t bytes, SmallFn deliver,
                                       Time now) {
-  (void)dst_node;
   const Time occupy = from_seconds(
       params_.per_message_s + static_cast<double>(bytes) / params_.bandwidth_Bps);
   Time& nic_free = egress_free_[static_cast<std::size_t>(src_node)];
@@ -69,7 +89,14 @@ Network::SendTimes Network::send_flat(int src_node, int dst_node,
   nic_free = egress_done;
   const Time arrival = std::max(egress_done + from_seconds(params_.latency_s),
                                 now + 1);
-  engine_->call_at(arrival, std::move(deliver));
+  if (shards_ == nullptr || node_shard(src_node) == node_shard(dst_node)) {
+    engine_for(src_node).call_at(arrival, std::move(deliver));
+  } else {
+    // Lookahead-sound: arrival >= now + latency, and the sharded engine's
+    // lookahead is derived from exactly this latency (min_remote_latency_s).
+    shards_->post_at(node_shard(src_node), node_shard(dst_node), arrival,
+                     std::move(deliver));
+  }
   return {egress_done, arrival, 0};
 }
 

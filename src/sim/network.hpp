@@ -28,6 +28,7 @@
 // ShareGuard release so a killed sender never strands link shares.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -38,6 +39,7 @@
 
 namespace gcr::sim {
 
+class ShardedEngine;
 class Trigger;
 
 struct NetParams {
@@ -78,6 +80,18 @@ class Network {
   /// future contention — block on the ticket (below) for the real signal.
   SendTimes send(int src_node, int dst_node, std::int64_t bytes,
                  SmallFn deliver);
+
+  /// Shard-resident mode (flat fabric only): partitions the per-node NIC
+  /// state by shard. Each node's sends must thereafter be issued from
+  /// `node_to_shard[node]`'s thread — that shard exclusively owns the
+  /// node's `egress_free_` slot and its clock drives the send arithmetic.
+  /// Same-shard deliveries stay on the owning engine's fast call_at path;
+  /// cross-shard deliveries go through `shards->post_at`, which is
+  /// lookahead-sound because a flat arrival always trails the sender's
+  /// clock by at least the wire latency the lookahead was derived from.
+  /// The routed fabric's link/heap state is a single shared resettling
+  /// machine and stays whole on one engine — never sharded (checked).
+  void set_shard_router(ShardedEngine* shards, std::vector<int> node_to_shard);
 
   // ---- Egress-wait protocol (routed transfers only) ----
   // A sender that must block until its buffer drains registers a Trigger
@@ -128,10 +142,15 @@ class Network {
                         params_.latency_s);
   }
 
-  /// Cumulative payload bytes ever passed to send() (monotone).
-  std::int64_t total_bytes() const { return total_bytes_; }
+  /// Cumulative payload bytes ever passed to send() (monotone; exact once
+  /// the run quiesces — mid-run cross-shard reads see a relaxed snapshot).
+  std::int64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
   /// Cumulative send() calls (monotone).
-  std::int64_t total_messages() const { return total_messages_; }
+  std::int64_t total_messages() const {
+    return total_messages_.load(std::memory_order_relaxed);
+  }
 
   // Fabric accounting (routed transfers only; loopback and flat excluded).
   // Conservation invariant, checked by the torture suite:
@@ -205,6 +224,16 @@ class Network {
 
   SendTimes send_flat(int src_node, int dst_node, std::int64_t bytes,
                       SmallFn deliver, Time now);
+  /// The engine whose clock and queue serve `node` (home unless a shard
+  /// router is installed).
+  Engine& engine_for(int node) {
+    return shards_ == nullptr ? *engine_ : shard_engine(node);
+  }
+  Engine& shard_engine(int node);
+  int node_shard(int node) const {
+    return node_shard_.empty() ? 0
+                               : node_shard_[static_cast<std::size_t>(node)];
+  }
   SendTimes send_routed(int src_node, int dst_node, std::int64_t bytes,
                         SmallFn deliver, Time now);
   std::uint64_t make_ticket(std::uint32_t idx) const {
@@ -255,6 +284,9 @@ class Network {
   std::unique_ptr<Topology> topo_;
   Rng routing_rng_;
   std::vector<Time> egress_free_;  ///< flat path: per-node NIC next-free
+  /// Resident-mode routing (null/empty = everything on `engine_`).
+  ShardedEngine* shards_ = nullptr;
+  std::vector<int> node_shard_;
 
   // Fabric state (sized only under routing).
   std::vector<Link> links_;
@@ -269,8 +301,8 @@ class Network {
   int active_count_ = 0;
   int queued_count_ = 0;
 
-  std::int64_t total_bytes_ = 0;
-  std::int64_t total_messages_ = 0;
+  std::atomic<std::int64_t> total_bytes_{0};
+  std::atomic<std::int64_t> total_messages_{0};
   std::int64_t fabric_offered_ = 0;
   std::int64_t fabric_delivered_ = 0;
   std::int64_t fabric_dropped_ = 0;

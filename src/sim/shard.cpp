@@ -87,17 +87,28 @@ std::uint64_t ShardedEngine::drive(Time until,
   auto completion = [this, until, s]() noexcept {
     Time g = kTimeMax;
     for (const Time t : next_time_) g = std::min(g, t);
+    if (g != kTimeMax && g > round_time_) round_time_ = g;
     done_ = g == kTimeMax || g > until ||
             stop_.load(std::memory_order_relaxed);
+    // A peer with an empty queue is not necessarily inert: with model state
+    // resident on every shard it is usually just blocked on mail this round's
+    // window is about to send. The earliest any shard can acquire new work is
+    // the globally earliest event plus one lookahead (the mail that wakes
+    // it), so an idle peer's sends reach us no earlier than g + 2L. Ignoring
+    // idle peers entirely — sound while all model state lived on the home
+    // shard — lets a resident shard run ahead to a far-future timer and take
+    // the woken peer's replies in its past.
+    const Time wake =
+        g < kTimeMax - lookahead_ ? g + lookahead_ : kTimeMax;
     for (int i = 0; i < s; ++i) {
       Time h = kTimeMax;
       for (int j = 0; j < s; ++j) {
         if (j != i) h = std::min(h, next_time_[static_cast<std::size_t>(j)]);
       }
+      h = std::min(h, wake);
       // Safe horizon: peers' earliest sends arrive >= h + lookahead, so
       // everything strictly before that — i.e. <= h + lookahead - 1 — is
-      // causally closed for this shard. Idle peers (h == kTimeMax) never
-      // constrain the window.
+      // causally closed for this shard.
       if (h < kTimeMax - lookahead_) {
         h = h + lookahead_ - 1;
       } else {
@@ -162,6 +173,18 @@ bool ShardedEngine::idle() const {
     if (!b.empty()) return false;
   }
   return true;
+}
+
+Time ShardedEngine::virtual_now() const {
+  Time t = engines_[0]->now();
+  if (num_shards() > 1 && round_time_ > t) t = round_time_;
+  return t;
+}
+
+Time ShardedEngine::max_now() const {
+  Time t = 0;
+  for (const std::unique_ptr<Engine>& e : engines_) t = std::max(t, e->now());
+  return t;
 }
 
 std::uint64_t ShardedEngine::events_processed() const {

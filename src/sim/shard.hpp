@@ -92,6 +92,25 @@ class ShardedEngine {
   bool idle() const;
   /// Sum of events dispatched across shards (monotone).
   std::uint64_t events_processed() const;
+  /// Events dispatched by one shard (monotone) — the occupancy counter that
+  /// proves a shard executed work rather than idling through the windows.
+  std::uint64_t shard_events(int s) const {
+    return engines_[static_cast<std::size_t>(s)]->events_processed();
+  }
+
+  /// Lower bound on the global simulated time: the latest window-plan time
+  /// (the minimum next-event time across shards, computed under the round
+  /// barrier), never behind the home shard's clock. With one shard this is
+  /// exactly home().now(). Safe to read from shard 0's thread mid-run (the
+  /// barrier orders the write) and from the driving thread between runs;
+  /// deadline watchdogs must use this rather than home().now(), whose clock
+  /// freezes while activity lives on peer shards.
+  Time virtual_now() const;
+  /// Max of the shard clocks — the earliest instant that is in no shard's
+  /// past. Only meaningful between runs (single-threaded caller); timers
+  /// that must be schedulable on every shard (whole-application restarts)
+  /// anchor here.
+  Time max_now() const;
 
  private:
   struct Msg {
@@ -119,6 +138,7 @@ class ShardedEngine {
   std::vector<Time> window_until_;             // U_i, barrier-synced
   std::atomic<bool> stop_{false};              // pred turned false
   bool done_ = false;                          // barrier completion verdict
+  Time round_time_ = 0;  // last round's global min next-event time (g)
 };
 
 }  // namespace gcr::sim

@@ -45,6 +45,9 @@ class StorageDevice {
 
   const std::string& name() const { return name_; }
   const StorageParams& params() const { return params_; }
+  /// The engine this device's queueing and timers run on — IO against the
+  /// device must be issued from coroutines on this engine.
+  Engine& engine() { return *engine_; }
 
   /// Writes `bytes`; completes when the data is durable on this device.
   /// Queues FIFO behind the admission limit, then fair-shares bandwidth

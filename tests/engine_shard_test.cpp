@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "group/dynamic.hpp"
 #include "group/group.hpp"
 #include "sim/awaitables.hpp"
 #include "sim/engine.hpp"
@@ -243,6 +244,28 @@ TEST(ShardedEngine, KillWhileCrossShardResumeIsMailboxed) {
   EXPECT_TRUE(se.idle());
 }
 
+TEST(ShardedEngine, IdlePeerStillBoundsTheWindow) {
+  // Regression test for a causality violation in the resident-rank world:
+  // shard 1 starts with an empty queue (its ranks are blocked on mail this
+  // round is about to send) while shard 0 holds both a near event that
+  // mails shard 1 and a far-future timer. Treating the idle peer as
+  // unconstraining let shard 0 run ahead to the far timer and take shard
+  // 1's reply in its past; the window must instead stop at the globally
+  // earliest event plus two lookaheads.
+  ShardedEngine se(2, /*lookahead=*/100);
+  std::vector<int> order;
+  se.shard(0).call_at(10, [&se, &order] {
+    se.post_at(0, 1, 110, [&se, &order] {
+      order.push_back(1);  // shard 1 wakes on the mail
+      se.post_at(1, 0, 210, [&order] { order.push_back(2); });  // reply
+    });
+  });
+  se.shard(0).call_at(100'000, [&order] { order.push_back(3); });  // far timer
+  se.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(se.shard(0).now(), Time{100'000});
+}
+
 TEST(ShardedEngine, RunWhileStopsOnShardZeroPredicate) {
   ShardedEngine se(2, /*lookahead=*/100);
   for (int s = 0; s < 2; ++s) {
@@ -299,6 +322,52 @@ TEST(RankShardPlan, MoreShardsThanGroupsLeavesShardsIdle) {
   const group::GroupSet groups = make_groups(4, {{0, 1}, {2, 3}});
   const std::vector<int> plan = plan_rank_shards(groups, 4);
   for (const int s : plan) EXPECT_LT(s, 2);  // only 2 shards get ranks
+}
+
+TEST(RankShardPlan, DynamicRegroupingStaysConsistentWithoutMovingRanks) {
+  // Placement is fixed before the protocol is constructed and never
+  // re-applied (Runtime::set_shard_plan rejects late installs), so when a
+  // dynamic-grouping analysis merges groups after failures the plan is
+  // deliberately NOT recomputed. Two properties keep that consistent:
+  // recomputing for the merged grouping would still keep each merged group
+  // whole (the planner never splits), and the merged plan is a coarsening —
+  // any two ranks sharing an original group still share a shard, so the
+  // original placement remains a valid refinement of the new grouping.
+  const group::GroupSet initial =
+      make_groups(8, {{0, 1}, {2, 3}, {4, 5}, {6, 7}});
+  const std::vector<int> plan = plan_rank_shards(initial, 2);
+
+  group::DynamicGrouper grouper(8);
+  for (int g = 0; g < initial.num_groups(); ++g) {
+    for (const mpi::RankId r : initial.members(g)) {
+      grouper.on_message(initial.members(g).front(), r);
+    }
+  }
+  // Post-failure rerouted traffic links the pairs up (the paper's collapse
+  // criticism): {0,1}+{2,3} merge, then {4,5}+{6,7}.
+  grouper.on_message(1, 2);
+  grouper.on_message(5, 6);
+  const group::GroupSet merged = grouper.current();
+  ASSERT_EQ(merged.num_groups(), 2);
+
+  const std::vector<int> replanned = plan_rank_shards(merged, 2);
+  for (int g = 0; g < merged.num_groups(); ++g) {
+    const int shard =
+        replanned[static_cast<std::size_t>(merged.members(g).front())];
+    for (const mpi::RankId r : merged.members(g)) {
+      EXPECT_EQ(replanned[static_cast<std::size_t>(r)], shard);
+    }
+  }
+  // The original plan never splits an original group either, so keeping it
+  // is safe: every rank keeps a same-shard path to its old group.
+  for (int g = 0; g < initial.num_groups(); ++g) {
+    const int shard =
+        plan[static_cast<std::size_t>(initial.members(g).front())];
+    for (const mpi::RankId r : initial.members(g)) {
+      EXPECT_EQ(plan[static_cast<std::size_t>(r)], shard);
+    }
+  }
+  EXPECT_EQ(plan_rank_shards(merged, 2), replanned);  // still deterministic
 }
 
 }  // namespace

@@ -154,6 +154,68 @@ TEST(Experiment, ClusteredStencilSurvivesEveryGroupFailingInTurn) {
   EXPECT_EQ(res.failures_injected, 2);
 }
 
+TEST(Experiment, ResidentShardsExecuteRankEventsAndMatchUnsharded) {
+  // The tentpole's two proof obligations in one run: resident outputs are
+  // byte-identical to the single-threaded engine, AND the peer shard
+  // actually dispatched rank events (the equivalence is not vacuous).
+  auto run = [](int shards) {
+    ExperimentConfig cfg;
+    cfg.app = stencil_app(/*cluster_width=*/4, /*iters=*/60);
+    cfg.nranks = 8;
+    cfg.groups = group::make_blocks(8, 4);
+    cfg.checkpoints = true;
+    cfg.schedule.first_at_s = 0.1;
+    cfg.schedule.interval_s = 0.3;
+    cfg.shards = shards;
+    return run_experiment(cfg);
+  };
+  const ExperimentResult base = run(1);
+  const ExperimentResult sharded = run(2);
+  ASSERT_TRUE(base.finished);
+  ASSERT_TRUE(sharded.finished);
+  EXPECT_EQ(base.exec_time_s, sharded.exec_time_s);
+  EXPECT_EQ(base.app_messages, sharded.app_messages);
+  EXPECT_EQ(base.app_bytes, sharded.app_bytes);
+  EXPECT_EQ(base.metrics.ckpts.size(), sharded.metrics.ckpts.size());
+  EXPECT_EQ(base.metrics.aggregate_ckpt_time_s(),
+            sharded.metrics.aggregate_ckpt_time_s());
+  ASSERT_EQ(sharded.shard_events.size(), 2u);
+  EXPECT_GT(sharded.shard_events[0], 0u);
+  EXPECT_GT(sharded.shard_events[1], 0u);  // the peer did rank work
+}
+
+TEST(Experiment, ResidentFaultInjectionMatchesUnsharded) {
+  // Kill/restore crosses the home<->shard edge in resident runs (recovery
+  // state machine home, members on their shard); outputs must still match
+  // the unsharded engine exactly, at a shard count that spreads the groups.
+  auto run = [](int shards) {
+    ExperimentConfig cfg;
+    cfg.app = stencil_app(/*cluster_width=*/4, /*iters=*/60);
+    cfg.nranks = 16;
+    cfg.groups = group::make_blocks(16, 4);
+    cfg.checkpoints = true;
+    cfg.schedule.first_at_s = 0.1;
+    cfg.schedule.interval_s = 0.3;
+    cfg.failures = {{0, 0.25}, {2, 0.8}};
+    cfg.shards = shards;
+    return run_experiment(cfg);
+  };
+  const ExperimentResult base = run(1);
+  const ExperimentResult sharded = run(4);
+  ASSERT_TRUE(base.finished);
+  ASSERT_TRUE(sharded.finished);
+  EXPECT_EQ(base.failures_injected, 2);
+  EXPECT_EQ(sharded.failures_injected, 2);
+  EXPECT_EQ(base.exec_time_s, sharded.exec_time_s);
+  EXPECT_EQ(base.app_messages, sharded.app_messages);
+  EXPECT_EQ(base.recoveries_completed, sharded.recoveries_completed);
+  EXPECT_EQ(base.metrics.restarts.size(), sharded.metrics.restarts.size());
+  EXPECT_EQ(base.metrics.aggregate_restart_time_s(),
+            sharded.metrics.aggregate_restart_time_s());
+  ASSERT_EQ(sharded.shard_events.size(), 4u);
+  for (const std::uint64_t ev : sharded.shard_events) EXPECT_GT(ev, 0u);
+}
+
 TEST(Experiment, WholeAppRestartMeasuresPreparation) {
   ExperimentConfig cfg;
   cfg.app = ring_app(20);
