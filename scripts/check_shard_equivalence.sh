@@ -5,16 +5,25 @@
 # and `--shards 2` / `--shards 4` drive the same runs through the windowed
 # multi-thread coordinator and must reproduce the very same bytes.
 #
-# Compares fig05/fig13 campaign output at the flat-equivalence sweep for
-# S in {1, 2, 4} against tests/golden/*.txt and against each other.
+# Four campaigns cover the widened residency gate (DESIGN.md §15.3):
+#   fig05 — group protocol, flat fabric, direct local storage (resident)
+#   fig13 — VCL + remote storage (legitimately DENIED: demoted to one
+#           shard, so matching the golden proves the demotion is harmless)
+#   scale — routed fabrics (fat-tree adaptive, dragonfly) resident
+#   tiers — burst-buffer/drain storage resident (+ mid-run group failure;
+#           its direct-remote cells are denied and demoted)
+#
 # Registered as a ctest target when GCR_BUILD_BENCH=ON.
 #
-# Usage: check_shard_equivalence.sh <fig05-binary> <fig13-binary> <golden-dir>
+# Usage: check_shard_equivalence.sh <fig05-binary> <fig13-binary> \
+#            <scale-binary> <tiers-binary> <golden-dir>
 set -eu
 
 fig05=$1
 fig13=$2
-golden=$3
+scale=$3
+tiers=$4
+golden=$5
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -22,12 +31,18 @@ trap 'rm -rf "$tmp"' EXIT
 for s in 1 2 4; do
   "$fig05" --procs 16,32 --reps 2 --jobs 4 --shards "$s" > "$tmp/fig05_s$s.txt"
   "$fig13" --procs 16,32 --reps 2 --jobs 4 --shards "$s" > "$tmp/fig13_s$s.txt"
+  "$scale" --procs 16,32 --topologies fattree,dragonfly --modes NORM,GP \
+      --reps 2 --jobs 4 --shards "$s" > "$tmp/scale_s$s.txt"
+  "$tiers" --procs 16 --reps 2 --jobs 4 --shards "$s" \
+      > "$tmp/tiers_s$s.txt" 2>/dev/null  # demotion warnings are expected
 done
 
 # Every shard count must reproduce the committed single-threaded goldens.
 for s in 1 2 4; do
   diff -u "$golden/fig05_procs16_32_reps2.txt" "$tmp/fig05_s$s.txt"
   diff -u "$golden/fig13_procs16_32_reps2.txt" "$tmp/fig13_s$s.txt"
+  diff -u "$golden/scale_extrapolation_procs16_32_reps2.txt" "$tmp/scale_s$s.txt"
+  diff -u "$golden/ablation_tiers_procs16_reps2.txt" "$tmp/tiers_s$s.txt"
 done
 
 echo "shard-equivalence: BYTE-IDENTICAL for shards 1, 2, 4"

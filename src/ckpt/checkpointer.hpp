@@ -141,12 +141,15 @@ class Checkpointer {
                                    : cluster_->local_disk(node);
   }
 
-  /// The engine a node's image IO runs on: its direct device's engine (the
-  /// node's shard when local disks are shard-bound, the home shard for
-  /// shared NFS), or home for the tier hierarchy. Identical to
+  /// The engine a node's image IO begins on: its direct device's engine
+  /// (the node's shard when local disks are shard-bound, the home shard
+  /// for shared NFS), or the node's staging buffer's engine for the tier
+  /// hierarchy (the node's shard when a resident plan rebound buffers —
+  /// the BLCR quiesce runs on the node, not at the arbiter). Identical to
   /// cluster().engine() outside shard-resident runs.
   sim::Engine& io_engine(int node) {
-    return tiers_ ? cluster_->engine() : device_for(node).engine();
+    return tiers_ ? cluster_->node_buffer(node).engine()
+                  : device_for(node).engine();
   }
 
   /// Tier counters, or nullptr in direct mode.

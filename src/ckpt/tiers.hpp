@@ -35,11 +35,32 @@
 // Kill-safety: stage_image may be killed at any suspension (ProcessKilled
 // unwind); reserved-but-unstaged capacity is returned by an RAII guard, so
 // burst-buffer bytes are never stranded by a failure mid-checkpoint.
+//
+// Shard residency (DESIGN.md §15.3): tier POLICY state (residency maps,
+// capacity accounting, drains) lives on the home shard; the per-node
+// staging buffers live on their nodes' shards (Cluster::
+// rebind_node_buffers). A caller runs its node-buffer leg on its own
+// shard, then crosses to the home arbiter through a fixed-latency control
+// edge: every request is stamped (subject node, per-node seq) on the
+// owning shard, lands home one lookahead later, and same-tick arrivals
+// are batched and executed in (node, seq) order — a canonical admission
+// order that no shard count can perturb (same construction as
+// sim::Network's routed injection edge). Replies cross back at +L and
+// fire a caller-shard trigger. The veneer is always on — a single-shard
+// run takes the identical ±L event structure — so tier-mode outputs are
+// byte-identical across --shards. Commit/discard/failure notices are
+// fire-and-forget ops through the same queue; a whole group's commits are
+// posted at one caller instant and land at one home instant, keeping the
+// leader's atomic-commit contract. Callers must invoke every method from
+// the subject node's shard (rank coroutines, same-shard group leaders,
+// and the recovery kill path dispatched to the group's shard all do).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "mpi/message.hpp"
 #include "sim/cluster.hpp"
@@ -98,18 +119,22 @@ class TierStore {
 
   /// Promotes the rank's staged image to committed (restore-visible),
   /// superseding — and freeing — the previous committed image, and starts
-  /// the write-behind drain in kDrain mode. Synchronous: posts no events
-  /// the caller waits on, so a whole group can commit at one instant.
+  /// the write-behind drain in kDrain mode. Fire-and-forget: the caller
+  /// never suspends, and a whole group's commits posted at one caller
+  /// instant land at one home instant (atomic at the leader).
   void commit_image(mpi::RankId rank);
 
   /// Drops the rank's staged image, if any, returning its burst-buffer
   /// bytes (failure before the group's commit point).
   void discard_staged(mpi::RankId rank);
 
-  /// Node fault: the rank's staged image dies with the process and its
+  /// Node fault: the rank's staged image dies with the process, its
   /// committed image loses node-buffer residency (restores fall back to
-  /// the shared tiers). NOT invoked for voluntary restarts — a relaunch on
-  /// a healthy node reloads from the warm staging buffer. Synchronous.
+  /// the shared tiers), and any home-side pipeline still acting for the
+  /// dead process is killed. NOT invoked for voluntary restarts — a
+  /// relaunch on a healthy node reloads from the warm staging buffer.
+  /// Fire-and-forget; must be called from the rank's shard (the recovery
+  /// kill path is dispatched there).
   void on_node_failed(mpi::RankId rank);
 
   /// Restart read: `bytes` from the fastest tier holding the rank's
@@ -136,7 +161,70 @@ class TierStore {
     std::optional<Image> staged;
     std::optional<Image> committed;
     std::uint64_t commit_seq = 0;  ///< for oldest-first eviction
+    /// Home-side pipelines acting for the rank. Unlike the pre-resident
+    /// code, these do NOT die with the rank's coroutines (they live on the
+    /// home engine); the failure notice kills them instead.
+    sim::ProcPtr stage_pipeline;
+    sim::ProcPtr read_pipeline;
   };
+
+  /// One control-edge request awaiting the canonical per-tick flush.
+  struct TierOp {
+    enum class Kind : std::uint8_t {
+      kStage,       ///< reserve + burst-buffer write -> staged (replies)
+      kCommit,      ///< staged -> committed (+ drain in kDrain mode)
+      kDiscard,     ///< drop the staged image
+      kNodeFailed,  ///< discard + drop node-buffer residency + kill pipelines
+      kRead,        ///< pick the restore tier; read shared tiers (replies)
+      kFlushLog,    ///< burst-buffer log append (replies)
+    };
+    Kind kind;
+    std::int32_t node;       ///< subject node (== rank for hosted ranks)
+    mpi::RankId rank;
+    std::uint64_t seq;       ///< per-subject-node request order
+    std::uint64_t epoch;
+    std::int64_t bytes;
+  };
+
+  /// Reply codes carried home -> caller.
+  static constexpr int kReplyDone = 0;
+  static constexpr int kReplyReadLocal = 1;  ///< read the node buffer locally
+
+  /// Caller-shard trigger registry, partitioned by shard so registration,
+  /// firing, and RAII unregistration all stay on the waiter's own shard.
+  struct ReplyWaiter {
+    sim::Trigger* trigger;
+    int* result;
+  };
+  using ReplyKey = std::pair<std::int32_t, std::uint64_t>;  ///< (node, seq)
+
+  sim::Engine& home() { return cluster_->engine(); }
+  sim::Time rpc_latency() const { return cluster_->shards().lookahead(); }
+  sim::Engine& node_engine(int node) {
+    return cluster_->shards().shard(cluster_->node_shard(node));
+  }
+  /// Stamps (node, seq) on the subject's shard and posts the op home at
+  /// +lookahead. Must run on the subject node's shard.
+  void post_op(TierOp op);
+  void enqueue_op(TierOp op);  ///< home side: batch + schedule the flush
+  void flush_ops();            ///< home side: canonical (node, seq) order
+  void run_op(TierOp& op);
+  /// Posts the reply to the subject node's shard at +lookahead (home side).
+  void post_reply(int node, std::uint64_t seq, int result);
+  /// Parks the caller until the (node, seq) reply lands on its shard.
+  /// Kill-safe: the registration is erased on unwind and a reply for an
+  /// unregistered key is dropped.
+  sim::Co<void> await_reply(int node, std::uint64_t seq, int* result);
+  void kill_pipeline(sim::ProcPtr& proc);
+
+  sim::Co<void> stage_body(mpi::RankId rank, int node, std::uint64_t epoch,
+                           std::int64_t bytes, std::uint64_t seq);
+  sim::Co<void> read_body(mpi::RankId rank, int node, std::int64_t bytes,
+                          std::uint64_t seq, bool from_bb);
+  sim::Co<void> flush_body(int node, std::int64_t bytes, std::uint64_t seq);
+  void do_commit(mpi::RankId rank);
+  void do_discard(mpi::RankId rank);
+  void do_node_failed(mpi::RankId rank);
 
   /// Grants `bytes` of burst-buffer capacity, evicting drained images or
   /// (kDrain only) stalling while the pool is exhausted; in kBurstBuffer
@@ -156,6 +244,14 @@ class TierStore {
   std::map<mpi::RankId, RankImages> ranks_;
   std::uint64_t next_commit_seq_ = 1;
   sim::Trigger space_freed_;
+
+  /// Per-subject-node request counters, each owned by the node's shard.
+  std::vector<std::uint64_t> node_seq_;
+  /// Same-tick arrivals awaiting the canonical flush (home shard only).
+  std::vector<TierOp> pending_ops_;
+  bool flush_scheduled_ = false;
+  /// Reply waiters, one map per shard (each touched only by its shard).
+  std::vector<std::map<ReplyKey, ReplyWaiter>> replies_;
 };
 
 }  // namespace gcr::ckpt

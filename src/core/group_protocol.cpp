@@ -829,7 +829,7 @@ sim::Co<void> GroupProtocol::replay_to(mpi::Rank& rank, mpi::RankId peer,
     ++met(st).resend_messages;
     met(st).resend_bytes += m.bytes;
     if (times.ticket != 0) {
-      co_await rt_->await_egress(times.ticket);
+      co_await rt_->await_egress(eng, times.ticket);
     } else if (times.egress_done > eng.now()) {
       co_await sim::delay(eng, times.egress_done - eng.now());
     }

@@ -26,13 +26,12 @@ RecoveryManager::RecoveryManager(mpi::Runtime& rt, GroupProtocol& protocol,
       static_cast<std::size_t>(protocol.groups().num_groups());
   gstate_.assign(ngroups, GroupState::kAlive);
   // The protocol fires this from the restoring group's shard; the recovery
-  // state machine lives on the home shard, so resident runs take the
-  // completion back home through the cross-shard edge.
+  // state machine lives on the home shard, so the completion goes home
+  // through the cross-shard edge. The edge is ALWAYS ON — a single-shard
+  // run forwards the post to a same-engine call_at(+L) — so the recovery
+  // timeline is identical at every shard count (same construction as the
+  // tier store's control edge).
   protocol_->set_restore_done_callback([this](int group) {
-    if (!rt_->resident()) {
-      on_restore_done(group);
-      return;
-    }
     sim::ShardedEngine& sh = rt_->cluster().shards();
     const int sg = shard_of_group(group);
     sh.post_at(sg, 0, sh.shard(sg).now() + sh.lookahead(),
@@ -45,10 +44,9 @@ int RecoveryManager::shard_of_group(int group) const {
 }
 
 void RecoveryManager::dispatch_kill(int group) {
-  if (!rt_->resident()) {
-    kill_members(group);
-    return;
-  }
+  // Always-on ±L edge (see the constructor comment): the kill lands on the
+  // group's shard one lookahead after the home-side decision at every
+  // shard count, single-shard runs included.
   sim::ShardedEngine& sh = rt_->cluster().shards();
   sh.post_at(0, shard_of_group(group), sh.home().now() + sh.lookahead(),
              [this, group] { kill_members(group); });
@@ -108,35 +106,20 @@ void RecoveryManager::fail_group_now(int group) {
       maybe_start_restores();  // the aborted restore freed a slot
       return;
     case GroupState::kAlive: {
-      if (!rt_->resident()) {
-        // A fault on nodes whose processes have ALL already exited does not
-        // affect the job (a run is complete once every rank ran to the end);
-        // there is nothing to kill or recover. A partially finished group is
-        // still killed whole — its finished members roll back and re-execute
-        // with the rest of the group.
-        bool all_finished = true;
-        for (mpi::RankId r : protocol_->groups().members(group)) {
-          if (!rt_->rank(r).finished()) {
-            all_finished = false;
-            break;
-          }
-        }
-        if (all_finished) return;
-        // The kill is immediate even if the group is mid-checkpoint — the
-        // round dies with the processes and the group's staged images are
-        // discarded (rank_killed), so restore sees the previous epoch.
-        ++failures_;
-        kill_members(group);
-        st = GroupState::kDown;
-        enqueue_restore(group);
-        maybe_start_restores();
-        return;
-      }
-      // Shard-resident: the all-finished / already-dead checks read member
+      // A fault on nodes whose processes have ALL already exited does not
+      // affect the job (a run is complete once every rank ran to the end);
+      // there is nothing to kill or recover. A partially finished group is
+      // still killed whole — its finished members roll back and re-execute
+      // with the rest of the group. The alive/finished checks read member
       // state owned by the group's shard, so the whole decision runs there
-      // and the bookkeeping posts back home. gstate_ stays kAlive for the
-      // ~2L round trip; a second fault in that window finds the members
-      // already dead on the shard and is absorbed there.
+      // and the bookkeeping posts back home — over the always-on ±L edges,
+      // so the kill (decision + L) and the recovery bookkeeping (decision
+      // + 2L) land at the same instants at every shard count. gstate_
+      // stays kAlive for the ~2L round trip; a second fault in that window
+      // finds the members already dead on the shard and is absorbed there.
+      // The kill itself is immediate even if the group is mid-checkpoint —
+      // the round dies with the processes and the group's staged images
+      // are discarded (rank_killed), so restore sees the previous epoch.
       sim::ShardedEngine& sh = rt_->cluster().shards();
       const int sg = shard_of_group(group);
       sh.post_at(0, sg, sh.home().now() + sh.lookahead(), [this, group] {
@@ -194,13 +177,10 @@ void RecoveryManager::maybe_start_restores() {
 void RecoveryManager::start_restore(int group) {
   gstate_[static_cast<std::size_t>(group)] = GroupState::kRestoring;
   ++restores_in_flight_;
-  if (!rt_->resident()) {
-    restore_ranks(protocol_->groups().members(group));
-    return;
-  }
   // The restore touches rank/protocol/registry state owned by the group's
-  // shard. Posted after any in-flight kill for this group (home posts both
-  // in order; the mailbox preserves send order at equal timestamps).
+  // shard; the always-on ±L edge carries it there. Posted after any
+  // in-flight kill for this group (home posts both in order; the mailbox
+  // preserves send order at equal timestamps).
   sim::ShardedEngine& sh = rt_->cluster().shards();
   sh.post_at(0, shard_of_group(group), sh.home().now() + sh.lookahead(),
              [this, group] {

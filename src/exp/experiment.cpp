@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "group/formation.hpp"
 #include "group/strategies.hpp"
@@ -13,14 +15,15 @@
 namespace gcr::exp {
 namespace {
 
-sim::ClusterParams make_cluster_params(const ExperimentConfig& config) {
+sim::ClusterParams make_cluster_params(const ExperimentConfig& config,
+                                       int effective_shards) {
   sim::ClusterParams cp;
   cp.num_nodes = config.nranks + 1;  // + driver (mpirun) node
   cp.seed = config.seed;
   cp.net.latency_s = config.net_latency_s;
   cp.net.bandwidth_Bps = config.net_bandwidth_Bps;
   cp.net.topology = config.topology;
-  cp.num_shards = config.shards;
+  cp.num_shards = effective_shards;
   cp.local_disk.bandwidth_Bps = config.disk_bandwidth_Bps;
   cp.local_disk.concurrency = config.storage.direct_concurrency;
   cp.num_remote_servers = config.remote_storage ? config.remote_servers : 0;
@@ -70,7 +73,51 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   GCR_CHECK(config.app != nullptr);
   GCR_CHECK(config.nranks > 0);
 
-  sim::Cluster cluster(make_cluster_params(config));
+  // Shard residency (DESIGN.md §15.3): rank coroutines and their protocol
+  // state live on the shard the placement plan assigns them, so peer shards
+  // execute model work instead of idling. The gate covers every fabric
+  // (routed injection edges are shard-invariant), tiered storage (the
+  // home arbiter is reached over the ±L control edge) and tracing (per-rank
+  // buffers, canonical merge); what remains denied is shared state only
+  // reachable on the home engine: VCL's home-driven protocol, direct-mode
+  // remote NFS devices, and the whole-application restart replay. Denial is
+  // never silent — it is warned here and surfaced in ExperimentResult.
+  // Decided before the cluster exists because the effective shard count
+  // (clamped to occupied groups) shapes the cluster itself.
+  std::string denial;
+  if (config.shards > 1) {
+    if (config.protocol != ProtocolKind::kGroup) {
+      denial = "only the group protocol has a rank->shard placement plan";
+    } else if (config.remote_storage) {
+      denial = "direct-mode remote storage serializes through home-bound "
+               "NFS servers";
+    } else if (config.restart_after_finish) {
+      denial = "whole-application restart replays on the home engine";
+    }
+  }
+  bool resident = config.shards > 1 && denial.empty();
+  int effective_shards = 1;
+  if (resident) {
+    // More shards than checkpoint groups would leave shards with no ranks
+    // to run: the group-aligned plan never splits a group. Clamp to the
+    // occupied count so every shard that exists does model work.
+    const int occupied = config.groups ? config.groups->num_groups() : 1;
+    effective_shards = std::min(config.shards, occupied);
+    if (effective_shards < config.shards) {
+      GCR_INFO("--shards %d clamped to %d occupied checkpoint group(s)",
+               config.shards, effective_shards);
+    }
+    if (effective_shards <= 1) {
+      resident = false;
+      denial = "clamped to one shard (single checkpoint group)";
+      effective_shards = 1;
+    }
+  } else if (config.shards > 1) {
+    GCR_WARN("--shards %d demoted to the single home engine: %s",
+             config.shards, denial.c_str());
+  }
+
+  sim::Cluster cluster(make_cluster_params(config, effective_shards));
   mpi::Runtime runtime(cluster, config.nranks);
   apps::AppSpec spec = config.app(config.nranks);
 
@@ -84,23 +131,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   registry.reserve_ranks(config.nranks);
   core::Metrics metrics;
 
-  // Shard residency (DESIGN.md §15.3): rank coroutines and their protocol
-  // state live on the shard the placement plan assigns them, so peer shards
-  // execute model work instead of idling. Confined to configurations whose
-  // shared services stay home-reachable through the cross-shard edge alone:
-  // the flat fabric (per-node NIC state partitions by shard), node-local
-  // direct storage, no tracing, no whole-application restart. Everything
-  // else runs the existing all-home path unchanged.
-  const bool resident =
-      config.shards > 1 && config.protocol == ProtocolKind::kGroup &&
-      config.topology.kind == sim::TopologyKind::kFlat &&
-      !config.remote_storage &&
-      config.storage.mode == ckpt::StorageMode::kDirect &&
-      !config.collect_trace && !config.restart_after_finish;
-
   trace::Tracer tracer;
   if (config.collect_trace) {
-    tracer.attach_clock(cluster.engine());
+    tracer.prepare(config.nranks);
     runtime.add_observer(&tracer);
   }
 
@@ -112,11 +145,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.protocol == ProtocolKind::kGroup) {
     GCR_CHECK_MSG(config.groups.has_value(),
                   "group protocol requires a GroupSet");
-    if (config.shards > 1) {
+    if (resident) {
       // Before the protocol exists: resident plans rebuild the Rank objects
-      // (their channels bind to the owning shard's engine).
-      runtime.set_shard_plan(plan_rank_shards(*config.groups, config.shards),
-                             resident);
+      // (their channels bind to the owning shard's engine) and rebind the
+      // per-node storage devices to their shards.
+      runtime.set_shard_plan(
+          plan_rank_shards(*config.groups, effective_shards), true);
     }
     group_protocol = std::make_unique<core::GroupProtocol>(
         runtime, *config.groups, checkpointer, registry, spec.image_bytes,
@@ -203,7 +237,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
-  for (int s = 0; s < config.shards; ++s) {
+  result.resident = resident;
+  result.effective_shards = effective_shards;
+  result.denial_reason = std::move(denial);
+  for (int s = 0; s < effective_shards; ++s) {
     result.shard_events.push_back(cluster.shards().shard_events(s));
   }
   result.checkpoints_completed = metrics.completed_rounds(config.nranks);

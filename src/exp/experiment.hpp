@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "apps/app.hpp"
@@ -68,13 +69,15 @@ struct ExperimentConfig {
   // inherit net_bandwidth_Bps.
   sim::TopologyParams topology;
   // Engine shards (sim/shard.hpp). 1 (default) is the literal single-
-  // threaded engine; N > 1 drives the run through the conservative-lookahead
-  // window coordinator. Configurations that pass the residency gate (group
-  // protocol, flat fabric, node-local direct storage, no tracing, no
-  // whole-app restart — see run_experiment) place each rank's coroutines,
-  // protocol state and local disk on shard_of(rank), so peer shards execute
-  // the model work; everything else runs all-home as before. Outputs are
-  // byte-identical across shard counts either way (DESIGN.md §15.3).
+  // threaded engine; N > 1 requests the conservative-lookahead window
+  // coordinator with rank-resident shards. The residency gate (group
+  // protocol, no direct-mode remote storage, no whole-app restart — see
+  // run_experiment) covers every fabric topology, the tiered storage modes
+  // and tracing; a denied request is demoted to the single home engine
+  // with a warning and the reason surfaced in ExperimentResult. The count
+  // actually used is clamped to the number of checkpoint groups (the plan
+  // never splits a group). Outputs are byte-identical across shard counts
+  // either way (DESIGN.md §15.3).
   int shards = 1;
   // Local image writes land in the page cache first (512 MB nodes); the
   // effective rate seen by the checkpointer is memory-copy-bound, not raw
@@ -147,10 +150,19 @@ struct ExperimentResult {
   double restart_aggregate_s = 0;
   std::vector<core::RestartRecord> restart_records;
 
-  /// Events dispatched per engine shard (size == config.shards). In a
-  /// resident run every shard that was assigned ranks shows nonzero
-  /// dispatch — the "peer shards actually execute model work" proof the
-  /// shard-equivalence gate pairs with.
+  /// Shard-residency outcome (DESIGN.md §15.3). `resident` says whether the
+  /// run actually executed rank-resident; `effective_shards` is the count
+  /// used (config.shards clamped to occupied checkpoint groups, or 1 after
+  /// a denial); `denial_reason` is empty unless a multi-shard request was
+  /// demoted — the gate never falls back silently.
+  bool resident = false;
+  int effective_shards = 1;
+  std::string denial_reason;
+
+  /// Events dispatched per engine shard (size == effective_shards). In a
+  /// resident run every shard shows nonzero dispatch — the plan is clamped
+  /// so no shard is left without ranks — the "peer shards actually execute
+  /// model work" proof the shard-equivalence gate pairs with.
   std::vector<std::uint64_t> shard_events;
 };
 

@@ -41,13 +41,17 @@ struct RankSnapshot {
 class Rank {
  public:
   Rank(sim::Engine& engine, RankId id, int node, int nranks)
-      : id_(id), node_(node), ctrl_in_(engine), resume_gate_(engine),
-        sent_(static_cast<std::size_t>(nranks)),
+      : engine_(&engine), id_(id), node_(node), ctrl_in_(engine),
+        resume_gate_(engine), sent_(static_cast<std::size_t>(nranks)),
         recvd_(static_cast<std::size_t>(nranks)),
         consumed_(static_cast<std::size_t>(nranks), 0) {}
 
   RankId id() const { return id_; }
   int node() const { return node_; }
+  /// The engine this rank's coroutines and channels are bound to — the
+  /// owning shard's engine under a resident plan, the home engine otherwise.
+  /// Observers use it to stamp trace records with the rank's own clock.
+  sim::Engine& engine() const { return *engine_; }
   int nranks() const { return static_cast<int>(sent_.size()); }
 
   std::uint32_t incarnation() const { return incarnation_; }
@@ -80,6 +84,7 @@ class Rank {
  private:
   friend class Runtime;
 
+  sim::Engine* engine_;
   RankId id_;
   int node_;
   std::uint32_t incarnation_ = 0;

@@ -179,18 +179,22 @@ sim::Network::SendTimes Runtime::transmit(const Message& msg) {
       [this, m = std::move(copy)]() mutable { deliver(std::move(m)); });
 }
 
-sim::Co<void> Runtime::await_egress(std::uint64_t ticket) {
+sim::Co<void> Runtime::await_egress(sim::Engine& eng, std::uint64_t ticket) {
   sim::Network& net = cluster_->network();
   if (ticket == 0 || !net.egress_pending(ticket)) co_return;
   // RAII unregistration mirrors StorageDevice's ShareGuard: if the waiting
   // coroutine is killed mid-wait, the fabric must not fire into a dead
   // stack frame. Clearing a completed/aborted ticket is a no-op.
+  //
+  // `eng` must be the CALLER's engine: the ticket's slot lives on the
+  // sending rank's shard, and the egress-done op fires the trigger from
+  // that shard — a home-engine trigger would be a cross-shard write.
   struct EgressGuard {
     sim::Network* net;
     std::uint64_t ticket;
     ~EgressGuard() { net->clear_egress_trigger(ticket); }
   };
-  sim::Trigger egress(engine());
+  sim::Trigger egress(eng);
   EgressGuard guard{&net, ticket};
   net.set_egress_trigger(ticket, &egress);
   co_await egress.wait();
@@ -215,7 +219,7 @@ sim::Co<void> Runtime::send(Rank& rank, RankId dst, int tag,
   if (transmit_it) {
     const auto times = transmit(msg);
     if (times.ticket != 0) {
-      co_await await_egress(times.ticket);
+      co_await await_egress(engine_of(rank), times.ticket);
     } else {
       sim::Engine& eng = engine_of(rank);
       const sim::Time now = eng.now();
@@ -244,7 +248,7 @@ sim::Co<Message> Runtime::sendrecv(Rank& rank, RankId dst, int stag,
   if (transmit_it) times = transmit(msg);
   Message in = co_await recv(rank, src, rtag);
   if (times.ticket != 0) {
-    co_await await_egress(times.ticket);
+    co_await await_egress(engine_of(rank), times.ticket);
   } else {
     sim::Engine& eng = engine_of(rank);
     const sim::Time now = eng.now();
@@ -645,6 +649,7 @@ void Runtime::set_shard_plan(std::vector<int> plan, bool resident) {
   }
   cluster_->network().set_shard_router(&cluster_->shards(), node_shard);
   cluster_->rebind_local_disks(node_shard);
+  cluster_->rebind_node_buffers(node_shard);
 }
 
 int Runtime::shard_of(RankId rank) const {

@@ -145,8 +145,9 @@ class Runtime {
 
   /// Blocks until the ticket's transfer clears its bottleneck (routed
   /// fabrics). No-op for a zero ticket or an already-completed transfer;
-  /// kill-safe (the registration is cleared on unwind).
-  sim::Co<void> await_egress(std::uint64_t ticket);
+  /// kill-safe (the registration is cleared on unwind). `eng` must be the
+  /// sending rank's engine — the ticket's slot is shard-resident there.
+  sim::Co<void> await_egress(sim::Engine& eng, std::uint64_t ticket);
 
   /// True when the cluster routes transfers over a multi-link topology —
   /// callers then pace sends via await_egress instead of egress timestamps.

@@ -124,18 +124,45 @@ class Cluster {
   /// Shard-resident mode: re-creates each node's private disk bound to the
   /// node's shard engine, so a rank's direct checkpoint IO runs entirely on
   /// its own shard. Only legal before any disk has been used (the devices
-  /// are rebuilt with fresh queues); shared devices (NFS, tiers) are
-  /// deliberately untouched — they stay home and resident configs exclude
-  /// them.
+  /// are rebuilt with fresh queues). Shared direct devices (NFS) stay home;
+  /// resident configs exclude them.
   void rebind_local_disks(const std::vector<int>& node_to_shard) {
     GCR_CHECK(node_to_shard.size() ==
               static_cast<std::size_t>(params_.num_nodes));
+    node_shard_ = node_to_shard;
     for (int n = 0; n < params_.num_nodes; ++n) {
       Engine& eng = shards_.shard(node_to_shard[static_cast<std::size_t>(n)]);
       local_disks_[static_cast<std::size_t>(n)] =
           std::make_unique<StorageDevice>(eng, "disk" + std::to_string(n),
                                           params_.local_disk);
     }
+  }
+
+  /// Shard-resident tiered storage: re-creates each node's staging buffer
+  /// bound to the node's shard engine, so the memory-speed image copy (and
+  /// a warm-restart read) runs on the rank's own shard. The shared tiers
+  /// (burst buffers, PFS) stay home — ckpt::TierStore reaches them through
+  /// its canonical op queue (DESIGN.md §15.3). No-op without a tier
+  /// hierarchy; only legal before any buffer has been used.
+  void rebind_node_buffers(const std::vector<int>& node_to_shard) {
+    GCR_CHECK(node_to_shard.size() ==
+              static_cast<std::size_t>(params_.num_nodes));
+    node_shard_ = node_to_shard;
+    if (!has_tiered_storage()) return;
+    for (int n = 0; n < params_.num_nodes; ++n) {
+      Engine& eng = shards_.shard(node_to_shard[static_cast<std::size_t>(n)]);
+      node_buffers_[static_cast<std::size_t>(n)] =
+          std::make_unique<StorageDevice>(eng, "nbuf" + std::to_string(n),
+                                          params_.tiers.node_buffer);
+    }
+  }
+
+  /// The shard owning a node's model objects (0 for every node until a
+  /// resident plan rebinds devices).
+  int node_shard(int node) const {
+    GCR_CHECK(node >= 0 && node < num_nodes());
+    return node_shard_.empty() ? 0
+                               : node_shard_[static_cast<std::size_t>(node)];
   }
 
   bool has_remote_storage() const { return !remote_servers_.empty(); }
@@ -181,6 +208,7 @@ class Cluster {
 
  private:
   ClusterParams params_;
+  std::vector<int> node_shard_;  ///< empty until a resident plan is set
   /// Declared before every device so the engines are destroyed last.
   ShardedEngine shards_;
   Network network_;

@@ -26,6 +26,8 @@ Network::Network(Engine& engine, int num_nodes, const NetParams& params,
     link_active_.assign(nlinks, 0);
     nodes_.resize(static_cast<std::size_t>(num_nodes));
     recip_ = {0.0, 1.0};  // recip_[a] = 1/a; grown as link occupancy grows
+    lanes_.resize(1);  // unsharded: every sender shares the home lane
+    node_seq_.assign(static_cast<std::size_t>(num_nodes), 0);
   } else {
     // Flat still exposes a (zeroed) load view so introspection is uniform.
     link_active_.assign(static_cast<std::size_t>(topo_->num_links()), 0);
@@ -34,13 +36,21 @@ Network::Network(Engine& engine, int num_nodes, const NetParams& params,
 
 void Network::set_shard_router(ShardedEngine* shards,
                                std::vector<int> node_to_shard) {
-  GCR_CHECK_MSG(!routed(),
-                "the routed fabric's contention state is one shared machine "
-                "and cannot be partitioned by shard");
   GCR_CHECK(shards != nullptr);
   GCR_CHECK(node_to_shard.size() == static_cast<std::size_t>(num_nodes()));
   for (const int s : node_to_shard) {
     GCR_CHECK(s >= 0 && s < shards->num_shards());
+  }
+  if (routed()) {
+    // The contention machine stays whole on the home engine; residency
+    // reaches it over the one-hop injection edge. Both directions of that
+    // edge post exactly inject_latency() ahead, so the window lookahead
+    // must not exceed it (cluster derives the lookahead from
+    // min_remote_latency_s == hop_latency_s, matching the floor).
+    GCR_CHECK_MSG(&shards->shard(0) == engine_,
+                  "routed fabric must live on shard 0 (the home engine)");
+    GCR_CHECK(shards->lookahead() <= inject_latency());
+    lanes_.resize(static_cast<std::size_t>(shards->num_shards()));
   }
   shards_ = shards;
   node_shard_ = std::move(node_to_shard);
@@ -103,18 +113,162 @@ Network::SendTimes Network::send_flat(int src_node, int dst_node,
 Network::SendTimes Network::send_routed(int src_node, int dst_node,
                                         std::int64_t bytes, SmallFn deliver,
                                         Time now) {
-  fabric_offered_ += bytes;
+  OpSlot* op = alloc_slot(node_shard(src_node));
+  op->seq = node_seq_[static_cast<std::size_t>(src_node)]++;
+  op->src = src_node;
+  op->dst = dst_node;
+  op->bytes = bytes;
+  op->deliver = std::move(deliver);
+  op->egress = nullptr;
+  op->pending = true;
+
+  // The injection edge: one hop of wire between this NIC and the fabric.
+  // The closure carries only {this, op} — inline in SmallFn — and the op
+  // slot carries the payload, so the steady path posts without allocating.
+  const Time inject = now + inject_latency();
+  post_to_fabric(src_node, inject,
+                 SmallFn([this, op] { enqueue_fabric_op(op->src, op->seq, op); }));
+
+  // Uncontended estimates mirroring the routed arithmetic (inject, full-
+  // rate drain, then the per-message + remaining-hop delivery delay over a
+  // minimal route); the real egress signal is the ticket's trigger, the
+  // real arrival is when `deliver` runs.
+  const Time est_clear =
+      inject + std::max<Time>(1, from_seconds(static_cast<double>(bytes) /
+                                              params_.bandwidth_Bps));
+  const Time delivery = std::max<Time>(
+      1, from_seconds(params_.per_message_s +
+                      (topo_->min_hops(src_node, dst_node) - 1) *
+                          params_.topology.hop_latency_s));
+  return {est_clear + inject_latency(), est_clear + delivery, make_ticket(*op)};
+}
+
+Network::OpSlot* Network::alloc_slot(int lane_id) {
+  Lane& lane = lanes_[static_cast<std::size_t>(lane_id)];
+  if (!lane.free.empty()) {
+    OpSlot* s = &lane.slots[lane.free.back()];
+    lane.free.pop_back();
+    return s;
+  }
+  GCR_CHECK(lane.slots.size() < (1u << 24) - 1);  // ticket field width
+  lane.slots.emplace_back();
+  OpSlot& s = lane.slots.back();
+  s.lane = static_cast<std::uint16_t>(lane_id);
+  s.self = static_cast<std::uint32_t>(lane.slots.size() - 1);
+  return &s;
+}
+
+void Network::finalize_slot(OpSlot* op) {
+  if (op->pending) {
+    op->pending = false;
+    if (op->egress != nullptr) {
+      Trigger* t = std::exchange(op->egress, nullptr);
+      t->fire();
+    }
+  }
+  op->deliver = SmallFn();
+  ++op->epoch;  // stale tickets stop resolving
+  lanes_[op->lane].free.push_back(op->self);
+}
+
+const Network::OpSlot* Network::ticket_op(std::uint64_t ticket) const {
+  if (ticket == 0) return nullptr;
+  const std::size_t lane_id = static_cast<std::size_t>(ticket >> 56);
+  const std::uint32_t self =
+      (static_cast<std::uint32_t>(ticket >> 32) & 0xffffffu);
+  const std::uint32_t epoch = static_cast<std::uint32_t>(ticket);
+  if (lane_id >= lanes_.size() || self == 0) return nullptr;
+  const Lane& lane = lanes_[lane_id];
+  if (self - 1 >= lane.slots.size()) return nullptr;
+  const OpSlot& s = lane.slots[self - 1];
+  if (s.epoch != epoch) return nullptr;
+  return &s;
+}
+
+bool Network::egress_pending(std::uint64_t ticket) const {
+  const OpSlot* s = ticket_op(ticket);
+  return s != nullptr && s->pending;
+}
+
+void Network::set_egress_trigger(std::uint64_t ticket, Trigger* t) {
+  OpSlot* s = const_cast<OpSlot*>(ticket_op(ticket));
+  GCR_CHECK(s != nullptr && s->pending);
+  GCR_CHECK(s->egress == nullptr);
+  s->egress = t;
+}
+
+void Network::clear_egress_trigger(std::uint64_t ticket) {
+  OpSlot* s = const_cast<OpSlot*>(ticket_op(ticket));
+  if (s != nullptr) s->egress = nullptr;
+}
+
+void Network::post_to_fabric(int src_node, Time at, SmallFn fn) {
+  const int s = node_shard(src_node);
+  if (shards_ == nullptr || s == 0) {
+    engine_->call_at(at, std::move(fn));
+  } else {
+    shards_->post_at(s, 0, at, std::move(fn));
+  }
+}
+
+void Network::post_from_fabric(int node, Time at, SmallFn fn) {
+  const int s = node_shard(node);
+  if (shards_ == nullptr || s == 0) {
+    engine_->call_at(at, std::move(fn));
+  } else {
+    shards_->post_at(0, s, at, std::move(fn));
+  }
+}
+
+void Network::enqueue_fabric_op(std::int32_t src, std::uint64_t seq,
+                                OpSlot* slot) {
+  pending_ops_.push_back(PendingOp{src, seq, slot});
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    // Every op targeting this tick is already in the queue (same-shard ops
+    // were inserted at earlier ticks, cross-shard ops merged at the window
+    // barrier), so a call_at at `now` sequences after all of them and the
+    // flush sees the complete tick.
+    engine_->call_at(engine_->now(), [this] { flush_fabric_ops(); });
+  }
+}
+
+void Network::flush_fabric_ops() {
+  flush_scheduled_ = false;
+  // Canonical admission order: (source node, per-node seq). Arrival order
+  // of the ops varies with the shard plan; this order does not, so routing
+  // draws, NIC FIFO order and fair-share splits are shard-count-invariant.
+  std::sort(pending_ops_.begin(), pending_ops_.end(),
+            [](const PendingOp& a, const PendingOp& b) {
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  const Time now = engine_->now();
+  for (const PendingOp& op : pending_ops_) {
+    if (op.slot == nullptr) {
+      do_abort(op.src, op.seq, now);
+    } else {
+      do_inject(op.slot, now);
+    }
+  }
+  pending_ops_.clear();
+  arm_timer();
+}
+
+void Network::do_inject(OpSlot* op, Time now) {
+  fabric_offered_ += op->bytes;
   const std::uint32_t idx = alloc_transfer();
   Transfer& t = pool_[idx];
-  t.src = src_node;
-  t.dst = dst_node;
-  t.bytes = bytes;
-  t.remaining = static_cast<double>(bytes);
-  t.deliver = std::move(deliver);
-  t.egress = nullptr;
+  t.src = op->src;
+  t.dst = op->dst;
+  t.bytes = op->bytes;
+  t.remaining = static_cast<double>(op->bytes);
+  t.deliver = std::move(op->deliver);
+  t.src_seq = op->seq;
+  t.op = op;
   t.next_queued = kNil;
 
-  NodeState& ns = nodes_[static_cast<std::size_t>(src_node)];
+  NodeState& ns = nodes_[static_cast<std::size_t>(t.src)];
   if (ns.admitted < params_.topology.nic_concurrency) {
     admit(idx, now);
   } else {
@@ -127,46 +281,6 @@ Network::SendTimes Network::send_routed(int src_node, int dst_node,
       ns.q_tail = idx;
     }
   }
-  arm_timer();
-
-  // Uncontended estimates mirroring the routed arithmetic (full-rate drain,
-  // then the per-message + per-hop delivery delay over a minimal route); the
-  // real egress signal is the ticket's trigger, the real arrival is when
-  // `deliver` runs.
-  const Time est_egress =
-      now +
-      from_seconds(static_cast<double>(bytes) / params_.bandwidth_Bps);
-  const Time delivery = std::max<Time>(
-      1, from_seconds(params_.per_message_s +
-                      topo_->min_hops(src_node, dst_node) *
-                          params_.topology.hop_latency_s));
-  return {est_egress, est_egress + delivery, make_ticket(idx)};
-}
-
-std::uint32_t Network::ticket_slot(std::uint64_t ticket) const {
-  if (ticket == 0) return kNil;
-  const std::uint32_t idx = static_cast<std::uint32_t>(ticket >> 32) - 1;
-  const std::uint32_t epoch = static_cast<std::uint32_t>(ticket);
-  if (idx >= pool_.size()) return kNil;
-  const Transfer& t = pool_[idx];
-  if (t.epoch != epoch || t.state == XferState::kFree) return kNil;
-  return idx;
-}
-
-bool Network::egress_pending(std::uint64_t ticket) const {
-  return ticket_slot(ticket) != kNil;
-}
-
-void Network::set_egress_trigger(std::uint64_t ticket, Trigger* t) {
-  const std::uint32_t idx = ticket_slot(ticket);
-  GCR_CHECK(idx != kNil);
-  GCR_CHECK(pool_[idx].egress == nullptr);
-  pool_[idx].egress = t;
-}
-
-void Network::clear_egress_trigger(std::uint64_t ticket) {
-  const std::uint32_t idx = ticket_slot(ticket);
-  if (idx != kNil) pool_[idx].egress = nullptr;
 }
 
 std::uint32_t Network::alloc_transfer() {
@@ -183,9 +297,8 @@ void Network::free_transfer(std::uint32_t idx) {
   Transfer& t = pool_[idx];
   t.state = XferState::kFree;
   t.deliver = SmallFn();
-  t.egress = nullptr;
+  t.op = nullptr;
   t.next_queued = kNil;
-  ++t.epoch;  // stale tickets stop resolving
   free_.push_back(idx);
 }
 
@@ -368,17 +481,20 @@ void Network::complete(std::uint32_t idx, Time now) {
   --active_count_;
   fabric_delivered_ += t.bytes;
 
+  // The remaining nhops-1 hops plus the per-message cost (the first hop
+  // was paid at injection). Cross-node routes have nhops >= 2, so the tail
+  // is at least one hop — lookahead-sound toward the destination's shard.
   const Time tail = from_seconds(
       params_.per_message_s +
-      static_cast<double>(route.nhops) * params_.topology.hop_latency_s);
-  engine_->call_at(now + std::max<Time>(1, tail), std::move(t.deliver));
-  // Fire the registered egress trigger synchronously: the trigger is alive
-  // (its owner clears the registration on unwind), and fire() only
-  // schedules waiter resumes, so no user code reenters the fabric here.
-  if (t.egress != nullptr) {
-    Trigger* egress = std::exchange(t.egress, nullptr);
-    egress->fire();
-  }
+      static_cast<double>(route.nhops - 1) * params_.topology.hop_latency_s);
+  post_from_fabric(t.dst, now + std::max<Time>(1, tail), std::move(t.deliver));
+  // The egress-done op returns over the injection edge to the source's
+  // shard, where it fires a still-registered trigger and recycles the op
+  // slot (finalize_slot is the sole recycler, so a kill-time purge on the
+  // owning shard can never race a slot reuse).
+  OpSlot* op = t.op;
+  post_from_fabric(src, now + inject_latency(),
+                   SmallFn([this, op] { finalize_slot(op); }));
   free_transfer(idx);
 
   NodeState& ns = nodes_[static_cast<std::size_t>(src)];
@@ -441,36 +557,72 @@ void Network::on_timer() {
 void Network::abort_transfers_from(int src_node) {
   GCR_CHECK(src_node >= 0 && src_node < num_nodes());
   if (!routed()) return;
-  const Time now = engine_->now();
-  NodeState& ns = nodes_[static_cast<std::size_t>(src_node)];
+  // Source-side purge, synchronous on the owning shard: pending slots stop
+  // resolving for the egress protocol and unhook their triggers (a killed
+  // sender's waiters are unwound separately; firing here would wake them).
+  // Slots are NOT recycled — each one's fabric-posted finalize op (egress-
+  // done for transfers that beat the abort, release for dropped ones) is
+  // still in flight and remains the sole recycler.
+  Lane& lane = lanes_[static_cast<std::size_t>(node_shard(src_node))];
+  for (OpSlot& s : lane.slots) {
+    if (s.pending && s.src == src_node) {
+      s.pending = false;
+      s.egress = nullptr;
+    }
+  }
+  // The abort travels the same injection edge and canonical queue as the
+  // sends, keyed by the same per-node counter: the flush orders it after
+  // every send the node issued before dying — even same-tick ones — and
+  // before anything a respawned incarnation issues.
+  const Time now = engine_for(src_node).now();
+  const std::uint64_t abort_seq =
+      node_seq_[static_cast<std::size_t>(src_node)]++;
+  post_to_fabric(src_node, now + inject_latency(),
+                 SmallFn([this, src_node, abort_seq] {
+                   enqueue_fabric_op(src_node, abort_seq, nullptr);
+                 }));
+}
+
+void Network::drop_transfer(std::uint32_t idx, Time now) {
+  Transfer& t = pool_[idx];
+  fabric_dropped_ += t.bytes;
+  OpSlot* op = t.op;
+  post_from_fabric(t.src, now + inject_latency(),
+                   SmallFn([this, op] { finalize_slot(op); }));
+  free_transfer(idx);
+}
+
+void Network::do_abort(std::int32_t node, std::uint64_t abort_seq, Time now) {
+  NodeState& ns = nodes_[static_cast<std::size_t>(node)];
 
   for (std::uint32_t q = ns.q_head; q != kNil;) {
     const std::uint32_t next = pool_[q].next_queued;
-    fabric_dropped_ += pool_[q].bytes;
+    GCR_ASSERT(pool_[q].src_seq < abort_seq);
     --queued_count_;
-    free_transfer(q);
+    drop_transfer(q, now);
     q = next;
   }
   ns.q_head = ns.q_tail = kNil;
 
   for (std::uint32_t idx = 0; idx < pool_.size(); ++idx) {
     Transfer& t = pool_[idx];
-    if (t.state != XferState::kActive || t.src != src_node) continue;
+    if (t.state != XferState::kActive || t.src != node ||
+        t.src_seq >= abort_seq) {
+      continue;
+    }
     const Route route = t.route;
     for (int h = 0; h < route.nhops; ++h) {
       link_remove(route.links[static_cast<std::size_t>(h)], idx, h);
     }
     --active_count_;
     --ns.admitted;
-    fabric_dropped_ += t.bytes;
-    free_transfer(idx);
+    drop_transfer(idx, now);
     for (int h = 0; h < route.nhops; ++h) {
       resettle_members(route.links[static_cast<std::size_t>(h)], now, kNil,
                        /*inserted=*/false);
     }
   }
   GCR_ASSERT(ns.admitted == 0);
-  arm_timer();
 }
 
 }  // namespace gcr::sim

@@ -22,14 +22,35 @@
 // recycle through a pooled free list, link membership is intrusive, and the
 // heap reuses its buffer.
 //
-// Kill protocol: abort_transfers_from(node) drops the node's queued and
-// in-flight transfers (deliver/egress callbacks destroyed, survivors
-// resettled to reclaim the bandwidth) — mirroring StorageDevice's
-// ShareGuard release so a killed sender never strands link shares.
+// Shard residency (DESIGN.md §15.3): the contention machine itself is one
+// shared resettling state and stays whole on the home engine. Senders on
+// peer shards reach it over a fixed *injection edge* — the first hop of
+// every route, modeled as one hop_latency_s of wire between the sender's
+// NIC and the fabric (so an uncontended message still totals
+// per_message + nhops*hop end to end: one hop at injection, nhops-1 at
+// delivery). Each send writes a source-shard-owned op slot and posts a
+// 16-byte inject op to the home shard at t + hop; the fabric batches every
+// op landing on one tick and admits them in canonical (source node, send
+// seq) order, so admission order — and with it routing RNG draws and
+// fair-share splits — is independent of shard count. Completion posts the
+// delivery to the destination's shard and an egress-done op back to the
+// source's shard (both >= one hop in the future, which is exactly the
+// sharded engine's lookahead). Slots are recycled only by those
+// fabric-posted finalize ops, on the owning shard, so the steady path
+// stays allocation-free and single-writer throughout.
+//
+// Kill protocol: abort_transfers_from(node) synchronously silences the
+// node's pending op slots (shard-local: triggers unhook, tickets stop
+// resolving), then sends an abort op through the same canonical queue; the
+// fabric drops the node's queued and in-flight transfers when it arrives
+// (survivors resettled to reclaim the bandwidth). Transfers that clear
+// their bottleneck before the abort op lands still deliver — the wire
+// cannot be recalled.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <vector>
 
@@ -81,16 +102,18 @@ class Network {
   SendTimes send(int src_node, int dst_node, std::int64_t bytes,
                  SmallFn deliver);
 
-  /// Shard-resident mode (flat fabric only): partitions the per-node NIC
-  /// state by shard. Each node's sends must thereafter be issued from
+  /// Shard-resident mode. Each node's sends must thereafter be issued from
   /// `node_to_shard[node]`'s thread — that shard exclusively owns the
-  /// node's `egress_free_` slot and its clock drives the send arithmetic.
-  /// Same-shard deliveries stay on the owning engine's fast call_at path;
-  /// cross-shard deliveries go through `shards->post_at`, which is
-  /// lookahead-sound because a flat arrival always trails the sender's
-  /// clock by at least the wire latency the lookahead was derived from.
-  /// The routed fabric's link/heap state is a single shared resettling
-  /// machine and stays whole on one engine — never sharded (checked).
+  /// node's NIC timestamp (flat), op lane and send-seq counter (routed),
+  /// and its clock drives the send arithmetic. Flat: same-shard deliveries
+  /// stay on the owning engine's fast call_at path; cross-shard deliveries
+  /// go through `shards->post_at`, lookahead-sound because a flat arrival
+  /// always trails the sender's clock by at least the wire latency the
+  /// lookahead was derived from. Routed: the contention machine stays
+  /// whole on the home engine (shard 0 — checked) and peer shards reach it
+  /// over the one-hop injection edge (see the header comment), so every
+  /// cross-shard post is at least hop_latency_s — the routed lookahead —
+  /// in the future.
   void set_shard_router(ShardedEngine* shards, std::vector<int> node_to_shard);
 
   // ---- Egress-wait protocol (routed transfers only) ----
@@ -116,22 +139,31 @@ class Network {
   /// whose NIC timestamps model no recallable in-flight state.
   void abort_transfers_from(int src_node);
 
-  /// Lower bound on the time any message between two distinct nodes spends
-  /// in flight — the sharded engine's conservative lookahead (sim/shard.hpp).
-  /// Flat: the wire latency. Routed: fewest cross-node hops times the
-  /// per-hop latency (queueing and serialization only add to that).
+  /// Lower bound on the time any cross-shard edge of a message spends in
+  /// flight — the sharded engine's conservative lookahead (sim/shard.hpp).
+  /// Flat: the wire latency (sender shard -> destination shard direct).
+  /// Routed: ONE hop_latency_s — the injection edge between a sender's NIC
+  /// and the fabric's home shard, which is also the tightest fabric-side
+  /// post (egress-done ops return after exactly one hop; deliveries cross
+  /// at least the route's remaining nhops-1 >= 1 hops).
   double min_remote_latency_s() const {
-    return routed()
-               ? topo_->min_cross_hops() * params_.topology.hop_latency_s
-               : params_.latency_s;
+    return routed() ? params_.topology.hop_latency_s : params_.latency_s;
   }
   /// Same bound derived from parameters alone, for use before a Network
-  /// exists (cluster construction orders shards before the fabric). Routed
-  /// topologies all satisfy min_cross_hops >= 2.
+  /// exists (cluster construction orders shards before the fabric).
   static double min_remote_latency_s(const NetParams& p) {
     return p.topology.kind == TopologyKind::kFlat
                ? p.latency_s
-               : 2.0 * p.topology.hop_latency_s;
+               : p.topology.hop_latency_s;
+  }
+
+  /// Fixed delay of the routed injection edge (and of the egress-done
+  /// return): one hop_latency_s, floored at one tick so a zero-latency
+  /// test config still satisfies the sharded engine's clamped minimum
+  /// lookahead. Admission state (link_active / active_transfers /
+  /// queued_transfers) becomes visible only after this edge crosses.
+  Time inject_latency() const {
+    return std::max<Time>(1, from_seconds(params_.topology.hop_latency_s));
   }
 
   /// Pure timing query (no event scheduled, no NIC occupied): the flat
@@ -174,6 +206,42 @@ class Network {
 
   enum class XferState : std::uint8_t { kFree, kQueued, kActive };
 
+  /// Source-shard-owned handle for one routed send. The content fields
+  /// (seq/src/dst/bytes/deliver) are written by the sender before the
+  /// inject op is posted and consumed exactly once by the fabric when the
+  /// op lands (the post's happens-before covers the read); the control
+  /// fields (pending/egress/epoch) are touched ONLY by the owning shard —
+  /// by the sender, by abort purges, and by the fabric-posted finalize op
+  /// that runs back on that shard and is the sole recycler.
+  struct OpSlot {
+    SmallFn deliver;
+    std::uint64_t seq = 0;      ///< per-source-node send order
+    Trigger* egress = nullptr;  ///< fired when the egress-done op lands
+    std::int64_t bytes = 0;
+    std::int32_t src = -1;
+    std::int32_t dst = -1;
+    std::uint32_t epoch = 0;  ///< slot-reuse guard for tickets
+    std::uint32_t self = 0;   ///< index within the lane
+    std::uint16_t lane = 0;   ///< owning shard's lane
+    bool pending = false;     ///< send issued, egress-done not yet landed
+  };
+
+  /// Per-shard slot arena. A deque keeps element addresses stable while
+  /// the owning shard appends, so the fabric can hold bare OpSlot*s across
+  /// the cross-shard edge without ever touching the container.
+  struct Lane {
+    std::deque<OpSlot> slots;
+    std::vector<std::uint32_t> free;
+  };
+
+  /// One fabric op awaiting the canonical per-tick flush: an injection
+  /// (slot != nullptr) or a source abort (slot == nullptr).
+  struct PendingOp {
+    std::int32_t src;
+    std::uint64_t seq;
+    OpSlot* slot;
+  };
+
   /// One routed transfer. `remaining` is settled lazily (exact only at its
   /// own settle points); link membership is an intrusive doubly-linked list
   /// per hop so joins/leaves never allocate.
@@ -186,11 +254,11 @@ class Network {
     std::int32_t dst = -1;
     std::uint32_t est_gen = 0;  ///< invalidates stale heap estimates
     Time est_time = 0;          ///< fire time of the live heap entry
-    std::uint32_t epoch = 0;    ///< slot-reuse guard for tickets
+    std::uint64_t src_seq = 0;  ///< injection order key (abort guard)
+    OpSlot* op = nullptr;       ///< source-side slot, for finalize posts
     XferState state = XferState::kFree;
     Route route;
     SmallFn deliver;
-    Trigger* egress = nullptr;  ///< fired at completion, if registered
     std::uint32_t next_queued = kNil;  ///< sender FIFO chain
     std::array<std::uint32_t, Route::kMaxHops> lnext;  ///< member handles
     std::array<std::uint32_t, Route::kMaxHops> lprev;
@@ -236,11 +304,31 @@ class Network {
   }
   SendTimes send_routed(int src_node, int dst_node, std::int64_t bytes,
                         SmallFn deliver, Time now);
-  std::uint64_t make_ticket(std::uint32_t idx) const {
-    return (static_cast<std::uint64_t>(idx + 1) << 32) | pool_[idx].epoch;
+  static std::uint64_t make_ticket(const OpSlot& s) {
+    return (static_cast<std::uint64_t>(s.lane) << 56) |
+           (static_cast<std::uint64_t>(s.self + 1) << 32) | s.epoch;
   }
-  /// Resolves a ticket to a live transfer slot, or kNil if stale.
-  std::uint32_t ticket_slot(std::uint64_t ticket) const;
+  /// Resolves a ticket to its live op slot, or nullptr if stale. Reads
+  /// slot control state, so: owning shard only.
+  const OpSlot* ticket_op(std::uint64_t ticket) const;
+  OpSlot* alloc_slot(int lane_id);
+  /// Egress-done / release landing on the owning shard: fires a still-
+  /// registered trigger and recycles the slot (the only recycler).
+  void finalize_slot(OpSlot* op);
+  /// Posts `fn` from `node`'s shard to the fabric's home shard.
+  void post_to_fabric(int src_node, Time at, SmallFn fn);
+  /// Posts `fn` from the fabric's home shard to `node`'s shard.
+  void post_from_fabric(int node, Time at, SmallFn fn);
+  /// Fabric side: queues an op for the canonical flush of the current tick.
+  void enqueue_fabric_op(std::int32_t src, std::uint64_t seq, OpSlot* slot);
+  /// Runs after every op targeting this tick is queued (call_at at `now`
+  /// sequences behind them); admits/aborts in (source node, seq) order.
+  void flush_fabric_ops();
+  void do_inject(OpSlot* op, Time now);
+  void do_abort(std::int32_t node, std::uint64_t abort_seq, Time now);
+  /// Drops one queued-or-active transfer at the fabric: accounts the bytes,
+  /// frees the pool slot, and posts the release op to the source's shard.
+  void drop_transfer(std::uint32_t idx, Time now);
 
   /// Current fair share of one link: bandwidth * 1/active, via the
   /// reciprocal table (multiply, not divide — this runs ~1e9 times in a
@@ -295,6 +383,10 @@ class Network {
   std::vector<Transfer> pool_;
   std::vector<std::uint32_t> free_;
   std::vector<NodeState> nodes_;
+  std::deque<Lane> lanes_;  ///< one op-slot arena per shard (one unsharded)
+  std::vector<std::uint64_t> node_seq_;  ///< per-node send/abort order
+  std::vector<PendingOp> pending_ops_;   ///< fabric ops awaiting this tick's flush
+  bool flush_scheduled_ = false;
   std::vector<HeapEntry> heap_;
   std::uint64_t heap_seq_ = 0;
   std::uint64_t timer_gen_ = 0;

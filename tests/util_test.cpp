@@ -1,9 +1,12 @@
-// Utility layer: RNG determinism/distributions, statistics, tables, units.
+// Utility layer: CLI validation, RNG determinism/distributions, statistics,
+// tables, units.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <sstream>
+#include <vector>
 
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -11,6 +14,50 @@
 
 namespace gcr {
 namespace {
+
+Cli make_cli(std::vector<const char*> argv) {
+  return Cli(static_cast<int>(argv.size()),
+             const_cast<char**>(argv.data()));
+}
+
+TEST(Cli, ShardsAndJobsParseInRange) {
+  Cli cli = make_cli({"prog", "--shards", "4", "--jobs", "8"});
+  EXPECT_EQ(cli.get_shards(), 4);
+  EXPECT_EQ(cli.get_jobs(), 8);
+}
+
+TEST(Cli, ShardsDefaultToSingleEngineAndJobsToAllThreads) {
+  Cli cli = make_cli({"prog"});
+  EXPECT_EQ(cli.get_shards(), 1);
+  EXPECT_EQ(cli.get_jobs(), 0);  // 0 = all hardware threads
+}
+
+// Campaigns run jobs simulations concurrently and each simulation spins up
+// `shards` engine threads, so both knobs reject nonsense values loudly —
+// the error text spells out the jobs x shards multiplication.
+TEST(CliDeathTest, RejectsZeroShards) {
+  Cli cli = make_cli({"prog", "--shards=0"});
+  EXPECT_EXIT(cli.get_shards(), testing::ExitedWithCode(2),
+              "--shards must be in 1..64");
+}
+
+TEST(CliDeathTest, RejectsNegativeShards) {
+  Cli cli = make_cli({"prog", "--shards=-2"});
+  EXPECT_EXIT(cli.get_shards(), testing::ExitedWithCode(2),
+              "threads PER simulation");
+}
+
+TEST(CliDeathTest, RejectsOversizedShards) {
+  Cli cli = make_cli({"prog", "--shards=65"});
+  EXPECT_EXIT(cli.get_shards(), testing::ExitedWithCode(2),
+              "jobs x shards");
+}
+
+TEST(CliDeathTest, RejectsNegativeJobs) {
+  Cli cli = make_cli({"prog", "--jobs=-1"});
+  EXPECT_EXIT(cli.get_jobs(), testing::ExitedWithCode(2),
+              "--jobs must be in 0..65536");
+}
 
 TEST(Rng, DeterministicForSeed) {
   Rng a(123), b(123);
