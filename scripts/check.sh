@@ -16,11 +16,20 @@ fi
 cmake -B build -S . -DGCR_BUILD_BENCH=ON && cmake --build build -j && cd build && ctest --output-on-failure -j
 # Explicit gates on the randomized torture harnesses (also part of the
 # ctest run above; CI additionally runs them under ASan+UBSan).
+# fault_torture_test carries both the fault-only seeds and the churn
+# torture (drains / reclaims / rolling restarts layered on faults).
 ./fault_torture_test
 ./topology_torture_test
-# Explicit shard-determinism gate (also the shard_equivalence ctest):
-# fig05/fig13 must match the committed goldens byte-for-byte at
+# Elastic-service gates (DESIGN.md §16): churn semantics (drain != failure,
+# checkpoint-on-warning, rolling coverage, rejoin + merge) and the service
+# app's SLO/latency accounting incl. its shard-residency equivalence.
+./churn_test
+./service_app_test
+# Explicit shard-determinism gate (also the shard_equivalence ctest): all
+# four campaigns must match the committed goldens byte-for-byte at
 # --shards 1, 2, and 4 — with the rank layer shard-resident, this is the
 # primary equivalence proof for DESIGN.md §15.3.
 sh ../scripts/check_shard_equivalence.sh \
-  bench/fig05_execution_time bench/fig13_scale_vcl ../tests/golden
+  bench/fig05_execution_time bench/fig13_scale_vcl \
+  bench/fig_scale_extrapolation bench/ablation_storage_tiers \
+  ../tests/golden

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <any>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -24,6 +25,13 @@ struct ImageMeta {
   std::uint64_t epoch = 0;       ///< per-group checkpoint counter
   std::int64_t bytes = 0;        ///< modeled image size (drives IO timing)
   sim::Time written_at = 0;
+  /// Registry-global commit identity: every commit_group (and put) call
+  /// stamps one fresh cut id on the images it promotes. Two images share a
+  /// cut_seq iff they were committed by the same group commit — i.e. they
+  /// belong to one consistent coordinated cut. Restore uses this to decide
+  /// which peers a restored rank must exchange/replay with when elastic
+  /// regrouping has mixed cuts inside one group (DESIGN.md §16).
+  std::uint64_t cut_seq = 0;
 };
 
 /// One durable per-rank checkpoint: what a restart reads back.
@@ -67,6 +75,7 @@ class ImageRegistry {
   void put(StoredCheckpoint image) {
     const mpi::RankId r = image.meta.rank;
     ensure(r);
+    image.meta.cut_seq = next_cut();
     images_[static_cast<std::size_t>(r)] = std::move(image);
   }
 
@@ -95,12 +104,14 @@ class ImageRegistry {
   /// finalize barrier only passes once every member wrote its image).
   void commit_group(const std::vector<mpi::RankId>& members,
                     std::uint64_t epoch) {
+    const std::uint64_t cut = next_cut();
     for (mpi::RankId r : members) {
       ensure(r);
       std::optional<StoredCheckpoint>& st = staged_[static_cast<std::size_t>(r)];
       GCR_CHECK_MSG(st.has_value() && st->meta.epoch == epoch,
                     "commit_group: a member has no staged image for this "
                     "epoch (finalize barrier passed without a write?)");
+      st->meta.cut_seq = cut;
       images_[static_cast<std::size_t>(r)] = std::move(*st);
       st.reset();
     }
@@ -136,8 +147,16 @@ class ImageRegistry {
     }
   }
 
+  std::uint64_t next_cut() {
+    // Relaxed is enough: in resident runs distinct groups may commit from
+    // different shard threads concurrently, but cut_seq is only ever
+    // COMPARED between images of one group, which are stamped by one call.
+    return cuts_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   std::vector<std::optional<StoredCheckpoint>> images_;
   std::vector<std::optional<StoredCheckpoint>> staged_;
+  std::atomic<std::uint64_t> cuts_{0};
 };
 
 }  // namespace gcr::ckpt

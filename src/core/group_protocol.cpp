@@ -92,7 +92,16 @@ void GroupProtocol::finalize_metrics() {
 sim::Co<bool> GroupProtocol::before_send(mpi::Rank& rank, mpi::Message& msg) {
   RankState& st = state(rank);
   const bool crossing = !groups_.same_group(msg.src, msg.dst);
-  if (crossing) {
+  // Elastic transitions log conservatively: during a split transition any
+  // message crossing the pending grouping is logged too (the pair will be
+  // cross after the install), and after a merge install the formerly-cross
+  // pairs keep logging until the first joint commit (extra_log). Both sets
+  // are empty in static runs, where `logged == crossing` exactly.
+  const bool logged =
+      crossing ||
+      (transition_ && !transition_->same_group(msg.src, msg.dst)) ||
+      st.extra_log.count(msg.dst) > 0;
+  if (logged) {
     // Logged even when transmission is suppressed: the receiver has the
     // message, but a *future* failure of the receiver still needs it.
     st.log.append(msg);
@@ -106,14 +115,15 @@ sim::Co<bool> GroupProtocol::before_send(mpi::Rank& rank, mpi::Message& msg) {
     skip -= msg.bytes;
     co_return false;  // peer already received this message
   }
-  if (crossing) {
+  if (logged) {
     // Asynchronous sender-side logging still costs a buffer copy.
     co_await sim::delay(
         rt_->engine_of(rank),
         sim::from_seconds(options_.log_per_msg_s +
                           static_cast<double>(msg.bytes) /
                               options_.log_copy_Bps));
-    if (st.first_send[static_cast<std::size_t>(msg.dst)]) {
+    // RR piggybacking (log GC) stays keyed on the CURRENT grouping.
+    if (crossing && st.first_send[static_cast<std::size_t>(msg.dst)]) {
       msg.piggyback_rr = st.rr[static_cast<std::size_t>(msg.dst)];
       st.first_send[static_cast<std::size_t>(msg.dst)] = 0;
     }
@@ -670,6 +680,14 @@ sim::Co<void> GroupProtocol::run_group_checkpoint(mpi::Rank& rank) {
       // Tier residency commits in lockstep; in kDrain mode this also
       // launches each member's background write-behind to the PFS.
       checkpointer_->commit_images(members);
+      // A joint committed cut now covers every member pair, so transitional
+      // post-merge logging inside this group can stop: any future restore
+      // rolls the whole group back to this cut (or a later one) together.
+      for (mpi::RankId m : members) {
+        RankState& ms = *states_[static_cast<std::size_t>(m)];
+        if (ms.extra_log.empty()) continue;
+        for (mpi::RankId q : members) ms.extra_log.erase(q);
+      }
     } else if (!committed) {
       registry_->discard_staged(rank.id());
       checkpointer_->discard_staged(rank.id());
@@ -703,8 +721,10 @@ sim::Co<void> GroupProtocol::run_group_checkpoint(mpi::Rank& rank) {
 // ------------------------------------------------------------------ restart
 
 void GroupProtocol::stage_restore(mpi::Rank& rank,
-                                  const ckpt::StoredCheckpoint* image) {
+                                  const ckpt::StoredCheckpoint* image,
+                                  std::uint64_t restore_token) {
   RankState& st = state(rank);
+  st.restore_token = restore_token;
   const int n = rt_->nranks();
   st.log.clear();
   st.rr.assign(static_cast<std::size_t>(n), 0);
@@ -731,6 +751,7 @@ void GroupProtocol::stage_restore(mpi::Rank& rank,
   // and the replay bound must not move past the restored prefix — the
   // runtime's duplicate suppression discards the overlap.
   st.exchange_r.assign(static_cast<std::size_t>(n), 0);
+  st.restore_cut = image != nullptr ? image->meta.cut_seq : 0;
   if (image != nullptr) {
     st.from_image = true;
     st.restore_image_bytes = image->meta.bytes;
@@ -772,7 +793,21 @@ sim::Co<void> GroupProtocol::run_restore(mpi::Rank& rank) {
   mpi::Message req;
   req.ctrl = mpi::CtrlKind::kExchangeRequest;
   for (int q = 0; q < rt_->nranks(); ++q) {
-    if (groups_.same_group(rank.id(), q)) continue;
+    if (q == rank.id()) continue;
+    if (groups_.same_group(rank.id(), q)) {
+      // In-group peers are co-restoring (groups are killed whole). A peer
+      // restoring from the SAME committed cut — or both from scratch — is
+      // already consistent with us: no exchange, as always. After an
+      // elastic merge the group may hold images from different pre-merge
+      // cuts; such pairs exchange and replay exactly like out-of-group
+      // peers, and the transitional logging window (extra_log) guarantees
+      // their logs cover the gap (DESIGN.md §16).
+      const RankState& qs = *states_[static_cast<std::size_t>(q)];
+      const bool same_cut =
+          st.from_image == qs.from_image &&
+          (!st.from_image || st.restore_cut == qs.restore_cut);
+      if (same_cut) continue;
+    }
     if (rt_->peer_alive(rank, q)) {
       req.ctrl_data = {st.exchange_r[static_cast<std::size_t>(q)],
                        rank.sent_to(q).bytes};
@@ -782,7 +817,7 @@ sim::Co<void> GroupProtocol::run_restore(mpi::Rank& rank) {
       st.exchange_deferred.insert(q);
     }
   }
-  const std::uint64_t repoch = kRestartEpochBase + rank.incarnation();
+  const std::uint64_t repoch = kRestartEpochBase + st.restore_token;
   co_await wait_event(rank, repoch,
                       [&st] { return st.exchange_pending.empty(); });
 
@@ -832,6 +867,57 @@ sim::Co<void> GroupProtocol::replay_to(mpi::Rank& rank, mpi::RankId peer,
       co_await rt_->await_egress(eng, times.ticket);
     } else if (times.egress_done > eng.now()) {
       co_await sim::delay(eng, times.egress_done - eng.now());
+    }
+  }
+}
+
+// ------------------------------------------------------- elastic regrouping
+
+void GroupProtocol::begin_transition(const group::GroupSet& pending) {
+  GCR_CHECK_MSG(!rt_->resident(),
+                "elastic transitions run on the home engine only");
+  GCR_CHECK(pending.nranks() == groups_.nranks());
+  GCR_CHECK_MSG(!transition_, "a regroup transition is already open");
+  transition_ = pending;
+}
+
+void GroupProtocol::end_transition() { transition_.reset(); }
+
+bool GroupProtocol::quiescent_for_regroup(
+    const std::vector<mpi::RankId>& ranks) {
+  for (mpi::RankId r : ranks) {
+    if (!rt_->rank(r).alive()) return false;
+    const RankState& st = *states_[static_cast<std::size_t>(r)];
+    // round_open covers the leader's whole prepare/commit window — including
+    // the stretch where members have replied but not yet accepted a commit
+    // and so carry no flag of their own; commit_pending covers the
+    // accept-to-safepoint window; in_checkpoint the coordination and image
+    // write; restoring the restart preparation.
+    if (st.round_open || st.commit_pending || st.in_checkpoint ||
+        st.restoring) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void GroupProtocol::install_groups(group::GroupSet next) {
+  GCR_CHECK_MSG(!rt_->resident(),
+                "elastic regrouping runs on the home engine only");
+  GCR_CHECK(next.nranks() == groups_.nranks());
+  retired_groups_.push_back(
+      std::make_unique<group::GroupSet>(std::move(groups_)));
+  groups_ = std::move(next);
+  transition_.reset();
+}
+
+void GroupProtocol::add_transitional_logging(
+    const std::vector<mpi::RankId>& a, const std::vector<mpi::RankId>& b) {
+  for (mpi::RankId x : a) {
+    for (mpi::RankId y : b) {
+      if (x == y) continue;
+      states_[static_cast<std::size_t>(x)]->extra_log.insert(y);
+      states_[static_cast<std::size_t>(y)]->extra_log.insert(x);
     }
   }
 }

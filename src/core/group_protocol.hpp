@@ -31,6 +31,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -98,7 +99,12 @@ class GroupProtocol : public mpi::Interposer {
   // ---- recovery API ----
   /// Before respawn_rank: marks the rank as restoring and installs the
   /// protocol-private state from the image (nullptr = restart from scratch).
-  void stage_restore(mpi::Rank& rank, const ckpt::StoredCheckpoint* image);
+  /// `restore_token` identifies the restore operation: every member staged
+  /// by one group restore must get the same token (it keys the restart
+  /// barrier — an elastic merge can put ranks with different incarnation
+  /// counts into one group, so the incarnation cannot key it).
+  void stage_restore(mpi::Rank& rank, const ckpt::StoredCheckpoint* image,
+                     std::uint64_t restore_token);
 
   /// Invoked (synchronously, from the last member's restore coroutine)
   /// when a whole group finishes restart preparation. The recovery manager
@@ -118,6 +124,37 @@ class GroupProtocol : public mpi::Interposer {
   /// Message-log bytes currently held by a rank (ablation instrumentation).
   std::int64_t log_bytes(mpi::RankId rank) const;
 
+  // ---- elastic regrouping API (DESIGN.md §16; home engine only) ----
+  /// Starts a split transition: until install_groups or end_transition,
+  /// before_send logs any message that crosses a group boundary in the
+  /// CURRENT *or* the `pending` grouping. This is what makes a later
+  /// install sound at any committed cut inside the window: traffic between
+  /// a departing rank and its old groupmates is in the sender logs from
+  /// the moment the drain began.
+  void begin_transition(const group::GroupSet& pending);
+  /// Abandons the pending transition (drain aborted or forcibly reclaimed).
+  void end_transition();
+  bool in_transition() const { return transition_.has_value(); }
+
+  /// True when every listed rank can tolerate a grouping change right now:
+  /// alive, not inside a checkpoint round (leader round open, commit
+  /// accepted, or mid-coordination) and not restoring. install_groups may
+  /// only be called when this holds for every rank whose membership
+  /// changes.
+  bool quiescent_for_regroup(const std::vector<mpi::RankId>& ranks);
+
+  /// Replaces the current grouping. The old GroupSet is retired, not
+  /// destroyed — suspended checkpoint coroutines of unaffected groups hold
+  /// references into its member vectors.
+  void install_groups(group::GroupSet next);
+
+  /// Marks every (a,b) pair with a in `a` and b in `b` for continued
+  /// sender-side logging after a merge install, until the merged group's
+  /// first joint commit clears it. Keeps restores sound while the group's
+  /// members still hold images from different pre-merge cuts.
+  void add_transitional_logging(const std::vector<mpi::RankId>& a,
+                                const std::vector<mpi::RankId>& b);
+
   /// Shard-resident runs spool metrics per rank (the shared Metrics object
   /// cannot be mutated from several shard threads); this merges the spools
   /// in rank order once the run has quiesced. No-op otherwise — unsharded
@@ -131,6 +168,11 @@ class GroupProtocol : public mpi::Interposer {
     std::vector<std::uint8_t> first_send;  ///< piggyback-pending flags
     MessageLog log;
     std::vector<std::int64_t> skip_bytes;  ///< suppression during re-execution
+    /// Peers whose traffic stays logged although they are (now) in-group:
+    /// set at a merge install, cleared at the group's first joint commit.
+    /// Deliberately NOT reset by stage_restore — the need persists until a
+    /// joint cut exists (DESIGN.md §16).
+    std::set<mpi::RankId> extra_log;
 
     // --- checkpoint coordination ---
     bool commit_pending = false;
@@ -161,6 +203,8 @@ class GroupProtocol : public mpi::Interposer {
     // --- restart ---
     bool restoring = false;
     bool from_image = false;
+    std::uint64_t restore_cut = 0;    ///< cut_seq of the restored image (0 = scratch)
+    std::uint64_t restore_token = 0;  ///< keys this restore's barrier epoch
     std::vector<std::int64_t> exchange_r;  ///< restored R prefix per peer
     std::int64_t restore_image_bytes = 0;
     /// Out-of-group peers with an exchange request in flight (alive when
@@ -227,6 +271,14 @@ class GroupProtocol : public mpi::Interposer {
 
   mpi::Runtime* rt_;
   group::GroupSet groups_;
+  /// Pending split grouping while a drain transition is open (see
+  /// begin_transition); nullopt almost always.
+  std::optional<group::GroupSet> transition_;
+  /// Superseded groupings, kept alive because suspended checkpoint
+  /// coroutines of unaffected groups hold `const auto&` references into
+  /// their member vectors. GroupSet's move ctor moves the inner vectors'
+  /// buffers, so those references stay valid across retirement.
+  std::vector<std::unique_ptr<group::GroupSet>> retired_groups_;
   ckpt::Checkpointer* checkpointer_;
   ckpt::ImageRegistry* registry_;
   ImageSizeFn image_bytes_;

@@ -93,6 +93,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                "NFS servers";
     } else if (config.restart_after_finish) {
       denial = "whole-application restart replays on the home engine";
+    } else if (config.churn.kind != sim::ChurnModelKind::kNone) {
+      denial = "elastic churn regroups ranks across group (and shard) "
+               "boundaries; the placement plan is fixed at construction";
     }
   }
   bool resident = config.shards > 1 && denial.empty();
@@ -141,6 +144,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   std::unique_ptr<core::VclProtocol> vcl_protocol;
   std::unique_ptr<core::CheckpointScheduler> scheduler;
   std::unique_ptr<core::RecoveryManager> recovery;
+  std::unique_ptr<core::TrafficMatrix> traffic;
+  std::unique_ptr<core::RegroupPlanner> planner;
 
   if (config.protocol == ProtocolKind::kGroup) {
     GCR_CHECK_MSG(config.groups.has_value(),
@@ -175,6 +180,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     if (config.fault_model.kind != sim::FaultModelKind::kNone) {
       recovery->arm_fault_model(sim::make_fault_model(config.fault_model));
     }
+    if (config.churn.kind != sim::ChurnModelKind::kNone) {
+      GCR_CHECK_MSG(config.per_group_intervals.empty(),
+                    "per-group intervals are indexed into a static "
+                    "partition; churn re-derives the partition — use the "
+                    "uniform schedule");
+      traffic = std::make_unique<core::TrafficMatrix>(config.nranks);
+      runtime.add_observer(traffic.get());
+      planner = std::make_unique<core::RegroupPlanner>(traffic.get());
+      recovery->arm_churn_model(sim::make_churn_model(config.churn),
+                                planner.get(), config.churn_options);
+    }
   } else {
     GCR_CHECK_MSG(config.failures.empty() && !config.restart_after_finish &&
                       config.fault_model.kind == sim::FaultModelKind::kNone,
@@ -208,17 +224,31 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // Resident runs end on whichever shard hosted the last rank to finish;
   // finish_time() records that instant exactly (the home clock may trail by
   // up to one lookahead fence).
-  result.exec_time_s =
+  const sim::Time end_time =
       runtime.resident()
-          ? sim::to_seconds(result.finished ? runtime.finish_time()
-                                            : cluster.shards().max_now())
-          : sim::to_seconds(cluster.engine().now());
+          ? (result.finished ? runtime.finish_time()
+                             : cluster.shards().max_now())
+          : cluster.engine().now();
+  result.exec_time_s = sim::to_seconds(end_time);
   result.app_messages = runtime.app_messages_sent();
   result.app_bytes = runtime.app_bytes_sent();
   result.failures_injected = recovery ? recovery->failures_injected() : 0;
   result.failures_absorbed = recovery ? recovery->failures_absorbed() : 0;
   result.recoveries_completed = recovery ? recovery->recoveries_completed() : 0;
   result.recoveries_aborted = recovery ? recovery->recoveries_aborted() : 0;
+  result.availability = recovery ? recovery->availability(end_time) : 1.0;
+  if (recovery) {
+    result.drains_completed = recovery->drains_completed();
+    result.reclaims_clean = recovery->reclaims_clean();
+    result.reclaims_forced = recovery->reclaims_forced();
+    result.joins_completed = recovery->joins_completed();
+    result.joins_aborted = recovery->joins_aborted();
+    result.splits_installed = recovery->splits_installed();
+    result.merges_installed = recovery->merges_installed();
+  }
+  result.final_num_groups =
+      group_protocol ? group_protocol->groups().num_groups() : 0;
+  if (spec.service_stats) result.service = spec.service_stats();
 
   if (result.finished && config.restart_after_finish && recovery) {
     const std::size_t before = metrics.restarts.size();

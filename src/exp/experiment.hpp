@@ -119,6 +119,14 @@ struct ExperimentConfig {
   // queue recoveries (core/recovery.hpp). Composable with `failures`.
   sim::FaultModelParams fault_model;
   core::RecoveryOptions recovery{};
+  // kind != kNone: planned churn (sim/churn.hpp) — drains, spot reclaims
+  // and rejoins drive the elastic regrouping state machines in
+  // core/recovery.hpp, with merge targets picked by a traffic-affinity
+  // RegroupPlanner. Group protocol only; composable with faults. Churn
+  // configs are denied shard residency (departures and merges move ranks
+  // across group — and therefore shard — boundaries).
+  sim::ChurnModelParams churn;
+  core::ChurnOptions churn_options{};
 
   // The paper's restart experiment: after the job finishes, restart the
   // whole application from the stored images and measure restart prep.
@@ -145,6 +153,25 @@ struct ExperimentResult {
   /// Tier counters (all zero in direct mode — see StorageConfig).
   ckpt::TierStats tier_stats;
   bool finished = false;  ///< false if the watchdog tripped
+
+  /// Service-app aggregates (set when the app publishes service_stats —
+  /// apps/service.hpp).
+  std::optional<apps::ServiceStats> service;
+  /// Fraction of rank-time the ranks were up over [0, exec_time]: faults
+  /// accrue downtime from kill to restore completion, churn from departure
+  /// to rejoin completion. 1.0 when nothing went down.
+  double availability = 1.0;
+  // Churn books (all zero unless config.churn is armed).
+  int drains_completed = 0;
+  int reclaims_clean = 0;   ///< warning window sufficed: committed + departed
+  int reclaims_forced = 0;  ///< warning expired: the group failed instead
+  int joins_completed = 0;
+  int joins_aborted = 0;    ///< join restores cut down by a fault
+  int splits_installed = 0;
+  int merges_installed = 0;
+  /// Group count at the end of the run (== the configured partition's
+  /// count unless churn re-derived it).
+  int final_num_groups = 0;
 
   /// Restart-experiment aggregates (valid when restart_after_finish).
   double restart_aggregate_s = 0;

@@ -41,6 +41,20 @@ sim::FaultModelKind fault_kind_at(const SweepPoint& point) {
   return static_cast<sim::FaultModelKind>(point.get_int("fault_kind"));
 }
 
+SweepAxis churn_kind_axis(const std::vector<sim::ChurnModelKind>& kinds) {
+  SweepAxis axis;
+  axis.name = "churn";
+  axis.values.reserve(kinds.size());
+  for (sim::ChurnModelKind k : kinds) {
+    axis.values.push_back(static_cast<double>(static_cast<int>(k)));
+  }
+  return axis;
+}
+
+sim::ChurnModelKind churn_kind_at(const SweepPoint& point) {
+  return static_cast<sim::ChurnModelKind>(point.get_int("churn"));
+}
+
 SweepAxis storage_mode_axis(const std::vector<ckpt::StorageMode>& modes) {
   SweepAxis axis;
   axis.name = "storage";

@@ -1,5 +1,7 @@
 #include "group/strategies.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace gcr::group {
@@ -43,6 +45,40 @@ GroupSet make_round_robin(int nranks, int k) {
     groups[static_cast<std::size_t>(r % k)].push_back(r);
   }
   return GroupSet(nranks, std::move(groups));
+}
+
+GroupSet split_rank(const GroupSet& gs, mpi::RankId rank) {
+  const int from = gs.group_of(rank);
+  if (gs.members(from).size() == 1) return gs;
+  std::vector<std::vector<mpi::RankId>> groups;
+  groups.reserve(static_cast<std::size_t>(gs.num_groups()) + 1);
+  for (int g = 0; g < gs.num_groups(); ++g) {
+    std::vector<mpi::RankId> m = gs.members(g);
+    if (g == from) {
+      m.erase(std::remove(m.begin(), m.end(), rank), m.end());
+    }
+    groups.push_back(std::move(m));
+  }
+  groups.push_back({rank});
+  return GroupSet(gs.nranks(), std::move(groups));
+}
+
+GroupSet merge_rank(const GroupSet& gs, mpi::RankId rank, int target) {
+  const int from = gs.group_of(rank);
+  GCR_CHECK_MSG(gs.members(from).size() == 1,
+                "merge_rank: rank is not a singleton");
+  GCR_CHECK(target >= 0 && target < gs.num_groups() && target != from);
+  std::vector<std::vector<mpi::RankId>> groups;
+  groups.reserve(static_cast<std::size_t>(gs.num_groups()) - 1);
+  for (int g = 0; g < gs.num_groups(); ++g) {
+    if (g == from) continue;
+    std::vector<mpi::RankId> m = gs.members(g);
+    if (g == target) {
+      m.insert(std::upper_bound(m.begin(), m.end(), rank), rank);
+    }
+    groups.push_back(std::move(m));
+  }
+  return GroupSet(gs.nranks(), std::move(groups));
 }
 
 GroupSet make_blocks(int nranks, int width) {

@@ -62,6 +62,9 @@ sim::Co<Message> AppHandle::sendrecv(RankId dst, int stag, std::int64_t sbytes,
 sim::Co<void> AppHandle::compute(double seconds) {
   return rt_->compute(*rank_, seconds);
 }
+double AppHandle::now_s() const {
+  return sim::to_seconds(rt_->engine_of(*rank_).now());
+}
 sim::Co<void> AppHandle::safepoint(std::uint64_t iteration) {
   return rt_->safepoint(*rank_, iteration);
 }

@@ -50,6 +50,10 @@ class AppHandle {
                             RankId src, int rtag);
   /// Models `seconds` of local computation.
   sim::Co<void> compute(double seconds);
+  /// Current simulated time on this rank's engine (its shard when
+  /// resident). Open-loop workloads use this to sleep until the next
+  /// scheduled arrival instead of a fixed per-iteration compute.
+  double now_s() const;
   /// Safe point: top of an app iteration; checkpoints execute here.
   sim::Co<void> safepoint(std::uint64_t iteration);
 

@@ -1,0 +1,272 @@
+#include "sim/churn.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <queue>
+#include <sstream>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace gcr::sim {
+namespace {
+
+/// Min-heap ordering by (time, node, kind): node and kind break time ties
+/// so the event order is independent of heap internals. A node's drain and
+/// its own rejoin can never tie (outage_s > 0 is enforced), so kind only
+/// orders distinct nodes' coincident events.
+struct LaterEvent {
+  bool operator()(const ChurnEvent& a, const ChurnEvent& b) const {
+    if (a.at_s != b.at_s) return a.at_s > b.at_s;
+    if (a.node != b.node) return a.node > b.node;
+    return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+  }
+};
+
+using EventHeap =
+    std::priority_queue<ChurnEvent, std::vector<ChurnEvent>, LaterEvent>;
+
+/// Cluster-wide Poisson drain/reclaim arrivals with paired rejoins. One
+/// shared stream (id num_nodes, matching BurstFaultModel's convention)
+/// drives both the arrival times and the node choices, so the history is a
+/// function of the seed alone. Arrivals may target a node that is still
+/// down from an earlier event — the recovery layer absorbs those, exactly
+/// as fault models may re-kill an already-dead node.
+class PoissonChurnModel : public ChurnModel {
+ public:
+  PoissonChurnModel(ChurnModelKind kind, double mtbd_s, double outage_s,
+                    double warning_s)
+      : kind_(kind), mtbd_s_(mtbd_s), outage_s_(outage_s),
+        warning_s_(warning_s) {
+    GCR_CHECK_MSG(mtbd_s > 0, "churn model: drain_mtbd_s must be positive");
+    GCR_CHECK_MSG(outage_s > 0, "churn model: outage_s must be positive");
+    GCR_CHECK_MSG(warning_s >= 0, "churn model: warning_s must be >= 0");
+  }
+
+  const char* name() const override { return churn_model_name(kind_); }
+
+  void bind(int num_nodes,
+            const std::function<Rng(std::uint64_t)>& rng_for) override {
+    GCR_CHECK(num_nodes > 0 && num_nodes_ == 0);
+    num_nodes_ = num_nodes;
+    rng_ = rng_for(static_cast<std::uint64_t>(num_nodes));
+    next_arrival_at_ = rng_.next_exponential(mtbd_s_);
+  }
+
+  std::optional<ChurnEvent> next() override {
+    GCR_CHECK_MSG(num_nodes_ > 0, "ChurnModel::bind was never called");
+    // An arrival at time T only produces events at >= T (its rejoin lands
+    // later), so the buffer head is final once the next arrival lies
+    // beyond it.
+    while (buffer_.empty() || next_arrival_at_ <= buffer_.top().at_s) {
+      expand_arrival(next_arrival_at_);
+      next_arrival_at_ += rng_.next_exponential(mtbd_s_);
+    }
+    ChurnEvent ev = buffer_.top();
+    buffer_.pop();
+    return ev;
+  }
+
+ private:
+  void expand_arrival(double at_s) {
+    const int node = static_cast<int>(
+        rng_.next_below(static_cast<std::uint64_t>(num_nodes_)));
+    const bool spot = kind_ == ChurnModelKind::kSpot;
+    const ChurnEventKind kind =
+        spot ? ChurnEventKind::kReclaim : ChurnEventKind::kDrain;
+    const double down_at = spot ? at_s + warning_s_ : at_s;
+    buffer_.push({at_s, node, kind, spot ? warning_s_ : 0.0});
+    buffer_.push({down_at + outage_s_, node, ChurnEventKind::kJoin, 0.0});
+  }
+
+  ChurnModelKind kind_;
+  double mtbd_s_;
+  double outage_s_;
+  double warning_s_;
+  int num_nodes_ = 0;
+  Rng rng_{0};
+  double next_arrival_at_ = 0;
+  EventHeap buffer_;
+};
+
+/// Rolling upgrade: node i drains at start + i*step and rejoins outage_s
+/// later — one deterministic sweep visiting every node exactly once. With
+/// step > outage at most one node is out at a time (the classic rolling
+/// restart); smaller steps model aggressive rollouts with overlapping
+/// outages.
+class RollingChurnModel : public ChurnModel {
+ public:
+  RollingChurnModel(double start_s, double step_s, double outage_s)
+      : start_s_(start_s), step_s_(step_s), outage_s_(outage_s) {
+    GCR_CHECK_MSG(start_s >= 0, "churn model: rolling_start_s must be >= 0");
+    GCR_CHECK_MSG(step_s > 0, "churn model: rolling_step_s must be positive");
+    GCR_CHECK_MSG(outage_s > 0, "churn model: outage_s must be positive");
+  }
+
+  const char* name() const override {
+    return churn_model_name(ChurnModelKind::kRolling);
+  }
+
+  void bind(int num_nodes,
+            const std::function<Rng(std::uint64_t)>& rng_for) override {
+    (void)rng_for;  // the sweep is deterministic by construction
+    GCR_CHECK(num_nodes > 0 && heap_.empty());
+    for (int n = 0; n < num_nodes; ++n) {
+      const double drain_at = start_s_ + n * step_s_;
+      heap_.push({drain_at, n, ChurnEventKind::kDrain, 0.0});
+      heap_.push({drain_at + outage_s_, n, ChurnEventKind::kJoin, 0.0});
+    }
+  }
+
+  std::optional<ChurnEvent> next() override {
+    if (heap_.empty()) return std::nullopt;
+    ChurnEvent ev = heap_.top();
+    heap_.pop();
+    return ev;
+  }
+
+ private:
+  double start_s_;
+  double step_s_;
+  double outage_s_;
+  EventHeap heap_;
+};
+
+/// Replays an explicit schedule. Events targeting nodes outside the bound
+/// machine are dropped at bind (a trace from a bigger cluster shrinks).
+class TraceChurnModel : public ChurnModel {
+ public:
+  explicit TraceChurnModel(std::vector<ChurnEvent> schedule)
+      : schedule_(std::move(schedule)) {
+    GCR_CHECK_MSG(!schedule_.empty(),
+                  "churn model: trace schedule is empty (no schedule given "
+                  "and no trace_path set?)");
+    std::stable_sort(schedule_.begin(), schedule_.end(),
+                     [](const ChurnEvent& a, const ChurnEvent& b) {
+                       return a.at_s < b.at_s;
+                     });
+  }
+
+  const char* name() const override {
+    return churn_model_name(ChurnModelKind::kTrace);
+  }
+
+  void bind(int num_nodes,
+            const std::function<Rng(std::uint64_t)>& rng_for) override {
+    (void)rng_for;  // replay is deterministic by construction
+    GCR_CHECK(num_nodes > 0);
+    schedule_.erase(std::remove_if(schedule_.begin(), schedule_.end(),
+                                   [num_nodes](const ChurnEvent& ev) {
+                                     return ev.node < 0 ||
+                                            ev.node >= num_nodes;
+                                   }),
+                    schedule_.end());
+  }
+
+  std::optional<ChurnEvent> next() override {
+    if (pos_ >= schedule_.size()) return std::nullopt;
+    return schedule_[pos_++];
+  }
+
+ private:
+  std::vector<ChurnEvent> schedule_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* churn_event_name(ChurnEventKind kind) {
+  switch (kind) {
+    case ChurnEventKind::kDrain: return "drain";
+    case ChurnEventKind::kReclaim: return "reclaim";
+    case ChurnEventKind::kJoin: return "join";
+  }
+  return "?";
+}
+
+const char* churn_model_name(ChurnModelKind kind) {
+  switch (kind) {
+    case ChurnModelKind::kNone: return "none";
+    case ChurnModelKind::kDrains: return "drains";
+    case ChurnModelKind::kSpot: return "spot";
+    case ChurnModelKind::kRolling: return "rolling";
+    case ChurnModelKind::kTrace: return "trace";
+  }
+  return "?";
+}
+
+std::unique_ptr<ChurnModel> make_churn_model(const ChurnModelParams& params) {
+  switch (params.kind) {
+    case ChurnModelKind::kNone:
+      return nullptr;
+    case ChurnModelKind::kDrains:
+      return std::make_unique<PoissonChurnModel>(
+          ChurnModelKind::kDrains, params.drain_mtbd_s, params.outage_s,
+          /*warning_s=*/0.0);
+    case ChurnModelKind::kSpot:
+      return std::make_unique<PoissonChurnModel>(
+          ChurnModelKind::kSpot, params.drain_mtbd_s, params.outage_s,
+          params.warning_s);
+    case ChurnModelKind::kRolling:
+      return std::make_unique<RollingChurnModel>(
+          params.rolling_start_s, params.rolling_step_s, params.outage_s);
+    case ChurnModelKind::kTrace:
+      return std::make_unique<TraceChurnModel>(
+          !params.schedule.empty() ? params.schedule
+                                   : load_churn_trace(params.trace_path));
+  }
+  GCR_CHECK_MSG(false, "unknown churn model kind");
+  return nullptr;  // unreachable
+}
+
+std::vector<ChurnEvent> parse_churn_trace(std::istream& in) {
+  std::vector<ChurnEvent> events;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream fields(line);
+    ChurnEvent ev;
+    std::string kind;
+    std::string trailing;
+    // Anything non-blank must parse fully: a typo'd line silently dropped
+    // would make the experiment run a different churn history than the
+    // file says.
+    bool ok = static_cast<bool>(fields >> ev.at_s >> kind >> ev.node) &&
+              ev.at_s >= 0;
+    if (ok) {
+      if (kind == "drain") {
+        ev.kind = ChurnEventKind::kDrain;
+      } else if (kind == "reclaim") {
+        ev.kind = ChurnEventKind::kReclaim;
+        ok = static_cast<bool>(fields >> ev.warning_s) && ev.warning_s >= 0;
+      } else if (kind == "join") {
+        ev.kind = ChurnEventKind::kJoin;
+      } else {
+        ok = false;
+      }
+    }
+    ok = ok && !(fields >> trailing);
+    if (!ok) {
+      GCR_CHECK_MSG(false,
+                    ("churn trace line " + std::to_string(lineno) +
+                     ": expected \"time_s drain|join node\" or "
+                     "\"time_s reclaim node warning_s\"")
+                        .c_str());
+    }
+    events.push_back(ev);
+  }
+  return events;
+}
+
+std::vector<ChurnEvent> load_churn_trace(const std::string& path) {
+  std::ifstream in(path);
+  GCR_CHECK_MSG(in.good(), ("cannot open churn trace: " + path).c_str());
+  return parse_churn_trace(in);
+}
+
+}  // namespace gcr::sim

@@ -1,0 +1,113 @@
+// Pluggable cluster-churn models (DESIGN.md §16).
+//
+// A ChurnModel is the membership-dynamics sibling of FaultModel
+// (sim/faults.hpp): a deterministic generator of *planned* node events —
+// drains, spot/preemptible reclaims with a warning window, and rejoins —
+// in nondecreasing time order, drawn from seeded substreams. Faults are
+// surprises the protocol must absorb; churn is advance notice it may
+// exploit (checkpoint-on-warning, clean handoff). The recovery layer
+// (core/recovery.hpp) maps each node event to the checkpoint group hosting
+// that node's rank and drives the drain/reclaim/rejoin state machines;
+// this layer knows nothing about groups or protocols.
+//
+// Built-in models:
+//   * drains  — cluster-wide Poisson process of planned drains, each
+//     picking a uniform node; the node rejoins after `outage_s`
+//     (maintenance reboots, capacity rebalancing);
+//   * spot    — same arrival process, but each drain is a preemptible-VM
+//     reclaim carrying `warning_s` of advance notice before the node is
+//     forcibly killed (EC2 spot / GCE preemptible semantics);
+//   * rolling — a rolling upgrade: node i drains at start_s + i*step_s and
+//     rejoins outage_s later, visiting every node exactly once;
+//   * trace   — replay of an explicit schedule, inline or parsed from a
+//     file of "time_s kind node [warning_s]" lines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gcr::sim {
+
+enum class ChurnEventKind {
+  kDrain,    ///< planned drain: graceful exit, no deadline
+  kReclaim,  ///< forced reclaim: the node dies warning_s after this event
+  kJoin,     ///< a previously departed node comes back
+};
+
+/// Stable short name ("drain", "reclaim", "join") for traces/tables.
+const char* churn_event_name(ChurnEventKind kind);
+
+/// One membership event: `node` drains/reclaims/joins at `at_s` (seconds
+/// of simulated time). `warning_s` is meaningful for kReclaim only: the
+/// node survives until at_s + warning_s, then is killed regardless.
+struct ChurnEvent {
+  double at_s = 0;
+  int node = 0;
+  ChurnEventKind kind = ChurnEventKind::kDrain;
+  double warning_s = 0;
+};
+
+enum class ChurnModelKind { kNone, kDrains, kSpot, kRolling, kTrace };
+
+/// Stable short name ("drains", "spot", "rolling", "trace") for tables/CSV.
+const char* churn_model_name(ChurnModelKind kind);
+
+/// Construction parameters for the built-in models. Only the fields of the
+/// selected `kind` are read; everything is sweepable as a scenario axis.
+struct ChurnModelParams {
+  ChurnModelKind kind = ChurnModelKind::kNone;
+
+  // kDrains / kSpot: cluster-wide Poisson arrivals of drain/reclaim events.
+  double drain_mtbd_s = 600.0;  ///< mean time between drains (whole cluster)
+  double outage_s = 30.0;       ///< drain-to-rejoin gap (all models)
+  double warning_s = 15.0;      ///< kSpot: reclaim notice before the kill
+
+  // kRolling: sequential sweep over every node.
+  double rolling_start_s = 60.0;  ///< first node drains here
+  double rolling_step_s = 60.0;   ///< gap between successive node drains
+
+  // kTrace: explicit schedule. `schedule` wins if non-empty; otherwise
+  // `trace_path` is loaded at model construction.
+  std::vector<ChurnEvent> schedule;
+  std::string trace_path;
+};
+
+/// Generator interface; the contract mirrors FaultModel exactly. bind() is
+/// called once before the first next(); `rng_for` returns a deterministic
+/// Rng substream per stream id (ids 0..num_nodes-1 are reserved for
+/// per-node processes, ids >= num_nodes for shared processes).
+class ChurnModel {
+ public:
+  virtual ~ChurnModel() = default;
+
+  virtual const char* name() const = 0;
+  virtual void bind(int num_nodes,
+                    const std::function<Rng(std::uint64_t)>& rng_for) = 0;
+
+  /// Next churn event; times are nondecreasing across calls. nullopt once
+  /// the stream is exhausted (the Poisson models never exhaust — the
+  /// consumer stops pulling when the job finishes).
+  virtual std::optional<ChurnEvent> next() = 0;
+};
+
+/// Builds the model described by `params`; nullptr for kNone. Aborts on
+/// invalid parameters (non-positive rates, empty trace).
+std::unique_ptr<ChurnModel> make_churn_model(const ChurnModelParams& params);
+
+/// Parses a churn trace: one "time_s kind node [warning_s]" line per event
+/// with kind in {drain, reclaim, join}; '#' starts a comment, blank lines
+/// ignored. Aborts on malformed input. The result is NOT sorted —
+/// make_churn_model sorts its copy.
+std::vector<ChurnEvent> parse_churn_trace(std::istream& in);
+
+/// parse_churn_trace on the contents of `path`; aborts if unreadable.
+std::vector<ChurnEvent> load_churn_trace(const std::string& path);
+
+}  // namespace gcr::sim

@@ -20,9 +20,11 @@
 #include <cstdint>
 
 #include "apps/cg.hpp"
+#include "apps/service.hpp"
 #include "apps/sp.hpp"
 #include "exp/experiment.hpp"
 #include "group/strategies.hpp"
+#include "sim/churn.hpp"
 #include "sim/faults.hpp"
 #include "util/rng.hpp"
 
@@ -191,6 +193,190 @@ TEST_P(FaultTortureTest, InvariantsHoldAndRerunsAreIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultTortureTest, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Churn torture (ISSUE 10): the same randomized-invariant harness, but with
+// a churn model (drains / spot reclaims / rolling restarts / random traces)
+// layered on top of random faults against the continuous-load service app.
+// Every departure eventually rejoins, so job completion also proves that
+// drains, reclaim kills, splits, merges and rejoin restores all unwound.
+
+struct ChurnSummary {
+  RunSummary base;
+  int drains_completed;
+  int reclaims_clean;
+  int reclaims_forced;
+  int joins_completed;
+  int joins_aborted;
+  int splits_installed;
+  int merges_installed;
+  int final_num_groups;
+  double availability;
+  std::uint64_t service_completed;
+  std::uint64_t slo_misses;
+  double p999_latency_s;
+
+  bool operator==(const ChurnSummary&) const = default;
+};
+
+ChurnSummary churn_summarize(const ExperimentResult& res) {
+  ChurnSummary s{};
+  s.base = summarize(res);
+  s.drains_completed = res.drains_completed;
+  s.reclaims_clean = res.reclaims_clean;
+  s.reclaims_forced = res.reclaims_forced;
+  s.joins_completed = res.joins_completed;
+  s.joins_aborted = res.joins_aborted;
+  s.splits_installed = res.splits_installed;
+  s.merges_installed = res.merges_installed;
+  s.final_num_groups = res.final_num_groups;
+  s.availability = res.availability;
+  s.service_completed = res.service ? res.service->completed : 0;
+  s.slo_misses = res.service ? res.service->slo_misses : 0;
+  s.p999_latency_s = res.service ? res.service->p999_latency_s : 0.0;
+  return s;
+}
+
+/// Service app (8 ranks, ~6-12 s of arrivals) under a random churn model
+/// plus optional random faults.
+ExperimentConfig churn_torture_config(std::uint64_t seed) {
+  gcr::Rng rng(mix_seed(0xC4021E70, seed));
+  apps::ServiceParams sp;
+  sp.requests = 120 + 30 * rng.next_below(4);
+  sp.arrival_rate_hz = 20.0;
+  sp.service_s = 0.003 + rng.next_double() * 0.004;
+  sp.slo_s = 0.1;
+  sp.mem_bytes = 4ll << 20;
+  sp.seed = seed;
+  const double horizon =
+      static_cast<double>(sp.requests) / sp.arrival_rate_hz;
+
+  ExperimentConfig cfg;
+  cfg.app = [sp](int n) { return apps::make_service(n, sp); };
+  cfg.nranks = 8;
+  cfg.seed = seed;
+  const int choices[] = {1, 2, 4, 8};
+  cfg.groups = group::make_round_robin(8, choices[rng.next_below(4)]);
+
+  cfg.checkpoints = true;
+  cfg.schedule.first_at_s = 0.1 + rng.next_double() * 0.2;
+  cfg.schedule.interval_s = 0.4 + rng.next_double() * 0.4;
+  cfg.schedule.round_spread_s = rng.next_double() * 0.08;
+  cfg.recovery.detect_s = 0.05 + rng.next_double() * 0.1;
+  cfg.recovery.relaunch_s = 0.05 + rng.next_double() * 0.1;
+  cfg.churn_options.poll_s = 0.05;
+  cfg.churn_options.retry_s = 0.25;
+
+  switch (rng.next_below(4)) {
+    case 0:
+      cfg.churn.kind = sim::ChurnModelKind::kDrains;
+      cfg.churn.drain_mtbd_s = 2.0 + rng.next_double() * 2.0;
+      cfg.churn.outage_s = 0.5 + rng.next_double() * 0.5;
+      break;
+    case 1:
+      // Warning windows straddling the commit time: some reclaims exit
+      // clean, some expire into forced group failures.
+      cfg.churn.kind = sim::ChurnModelKind::kSpot;
+      cfg.churn.drain_mtbd_s = 2.5 + rng.next_double() * 2.0;
+      cfg.churn.outage_s = 0.5 + rng.next_double() * 0.5;
+      cfg.churn.warning_s = 0.2 + rng.next_double() * 1.3;
+      break;
+    case 2:
+      cfg.churn.kind = sim::ChurnModelKind::kRolling;
+      cfg.churn.rolling_start_s = 0.5;
+      cfg.churn.rolling_step_s = 0.8 * horizon / 8.0;
+      cfg.churn.outage_s = 0.3 + rng.next_double() * 0.3;
+      break;
+    default: {
+      cfg.churn.kind = sim::ChurnModelKind::kTrace;
+      const int k = 2 + static_cast<int>(rng.next_below(3));
+      for (int i = 0; i < k; ++i) {
+        sim::ChurnEvent ev;
+        ev.at_s = 0.3 + rng.next_double() * 0.7 * horizon;
+        ev.node = static_cast<int>(rng.next_below(8));
+        double down_at = ev.at_s;
+        if (rng.next_below(2) == 0) {
+          ev.kind = sim::ChurnEventKind::kReclaim;
+          ev.warning_s = 0.2 + rng.next_double() * 1.0;
+          down_at += ev.warning_s;
+        } else {
+          ev.kind = sim::ChurnEventKind::kDrain;
+        }
+        cfg.churn.schedule.push_back(ev);
+        cfg.churn.schedule.push_back({down_at + 0.4 + rng.next_double() * 0.8,
+                                      ev.node, sim::ChurnEventKind::kJoin,
+                                      0.0});
+      }
+      break;
+    }
+  }
+
+  // Surprise faults on top of the planned churn, on a third of the seeds.
+  switch (rng.next_below(3)) {
+    case 0:
+      cfg.fault_model.kind = sim::FaultModelKind::kExponential;
+      cfg.fault_model.mtbf_s = 8.0 + rng.next_double() * 8.0;
+      break;
+    case 1: {
+      cfg.fault_model.kind = sim::FaultModelKind::kTrace;
+      const int k = 1 + static_cast<int>(rng.next_below(2));
+      for (int i = 0; i < k; ++i) {
+        cfg.fault_model.schedule.push_back(
+            {0.3 + rng.next_double() * 0.7 * horizon,
+             static_cast<int>(rng.next_below(8))});
+      }
+      break;
+    }
+    default:
+      break;  // churn only
+  }
+
+  cfg.max_sim_s = 300.0;
+  return cfg;
+}
+
+class ChurnTortureTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChurnTortureTest, InvariantsHoldAndRerunsAreIdentical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const ExperimentConfig cfg = churn_torture_config(seed);
+  const ExperimentResult res = run_experiment(cfg);
+
+  ASSERT_TRUE(res.finished)
+      << "seed " << seed << " hit the watchdog; injected="
+      << res.failures_injected << " completed=" << res.recoveries_completed
+      << " aborted=" << res.recoveries_aborted << " drains="
+      << res.drains_completed << " reclaims=" << res.reclaims_clean << "+"
+      << res.reclaims_forced << " joins=" << res.joins_completed;
+
+  // The failure books settle exactly as without churn: planned departures
+  // never enter them, forced reclaims enter as ordinary failures.
+  EXPECT_EQ(res.failures_injected,
+            res.recoveries_completed + res.recoveries_aborted)
+      << "seed " << seed;
+
+  // Every join the recovery layer admitted targeted a clean departure
+  // (forced reclaims re-enter through the failure path instead).
+  EXPECT_LE(res.joins_completed + res.joins_aborted,
+            res.drains_completed + res.reclaims_clean)
+      << "seed " << seed;
+  EXPECT_GE(res.availability, 0.0);
+  EXPECT_LE(res.availability, 1.0);
+
+  // job_finished requires every rank's coroutine to return, so a finished
+  // run served the entire open-loop stream despite churn + faults.
+  ASSERT_TRUE(res.service.has_value());
+  EXPECT_EQ(res.service->completed, res.service->requests) << "seed " << seed;
+
+  const ExperimentResult res2 = run_experiment(cfg);
+  EXPECT_TRUE(churn_summarize(res) == churn_summarize(res2))
+      << "seed " << seed << " is not deterministic: exec " << res.exec_time_s
+      << " vs " << res2.exec_time_s << ", drains " << res.drains_completed
+      << " vs " << res2.drains_completed << ", avail " << res.availability
+      << " vs " << res2.availability;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnTortureTest, ::testing::Range(1, 9));
 
 }  // namespace
 }  // namespace gcr::exp
